@@ -1,0 +1,176 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1  median policy (lower / upper / average) — quality and f-dagger
+//       linear-space eligibility (2f integrality);
+//   A2  granularity bands — tie volume vs MEDRANK access cost vs
+//       aggregation quality (the user-facing knob of the paper's §1);
+//   A3  penalty parameter p in the Kemeny objective — does the optimal
+//       full ranking actually change with p?
+
+#include <cstdio>
+
+#include "access/medrank_engine.h"
+#include "core/cost.h"
+#include "core/footrule_matching.h"
+#include "core/kemeny.h"
+#include "core/kendall.h"
+#include "core/normalization.h"
+#include "core/profile_metrics.h"
+#include "core/weighted.h"
+#include "core/median_rank.h"
+#include "core/optimal_bucketing.h"
+#include "db/query.h"
+#include "gen/datasets.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "util/stats.h"
+
+namespace rankties {
+namespace {
+
+void MedianPolicyAblation() {
+  std::printf("\n### A1: median policy ablation (n=32, m even=6, few-valued "
+              "partial inputs -> the policies actually differ)\n");
+  std::printf("%-8s %-14s %-16s %s\n", "policy", "mean ratio*",
+              "linear-space DP", "(*: sumFprof vs Hungarian full optimum)");
+  for (MedianPolicy policy :
+       {MedianPolicy::kLower, MedianPolicy::kUpper, MedianPolicy::kAverage}) {
+    Rng rng(11);
+    OnlineStats ratio;
+    int linear_ok = 0, trials = 0;
+    for (int trial = 0; trial < 15; ++trial) {
+      std::vector<BucketOrder> inputs;
+      for (int i = 0; i < 6; ++i) {
+        inputs.push_back(RandomFewValued(32, 4.0, rng));
+      }
+      auto median = MedianAggregateFull(inputs, policy);
+      auto optimal = FootruleOptimalFull(inputs);
+      if (!median.ok() || !optimal.ok()) continue;
+      ratio.Add(ApproxRatio(
+          static_cast<double>(TwiceTotalFprof(
+              BucketOrder::FromPermutation(*median), inputs)),
+          static_cast<double>(optimal->twice_total_cost)));
+      auto scores = MedianRankScoresQuad(inputs, policy);
+      if (scores.ok() &&
+          OptimalBucketing(*scores, BucketingAlgorithm::kLinearSpace).ok()) {
+        ++linear_ok;
+      }
+      ++trials;
+    }
+    const char* name = policy == MedianPolicy::kLower   ? "lower"
+                       : policy == MedianPolicy::kUpper ? "upper"
+                                                        : "average";
+    std::printf("%-8s %-14.4f %d/%d eligible\n", name, ratio.mean(),
+                linear_ok, trials);
+  }
+  std::printf("(kAverage can produce quarter-integral medians; the Figure-1 "
+              "DP then falls back to the generic variant — the paper's "
+              "2f-integrality precondition in action.)\n");
+}
+
+void GranularityAblation() {
+  std::printf("\n### A2: granularity bands on the restaurant catalog "
+              "(n=5000): ties vs access cost\n");
+  std::printf("%-12s %-10s %-14s %-14s %-12s\n", "granularity",
+              "buckets", "largest tie", "medrank acc", "frac of m*n");
+  Rng rng(42);
+  const Table table = MakeRestaurantTable(5000, rng);
+  for (double granularity : {0.1, 1.0, 5.0, 10.0, 30.0}) {
+    PreferenceQuery query(table);
+    query
+        .Add({.column = "distance_miles",
+              .mode = AttributePreference::Mode::kAscending,
+              .granularity = granularity})
+        .Add({.column = "price_tier",
+              .mode = AttributePreference::Mode::kAscending})
+        .Add({.column = "stars",
+              .mode = AttributePreference::Mode::kDescending});
+    auto rankings = query.DeriveRankings();
+    if (!rankings.ok()) continue;
+    const TieProfile profile = ProfileTies((*rankings)[0]);
+    auto result = query.TopKMedrank(5);
+    if (!result.ok()) continue;
+    std::printf("%-12.1f %-10zu %-14zu %-14lld %-12.4f\n", granularity,
+                profile.num_buckets, profile.largest_bucket,
+                static_cast<long long>(result->sorted_accesses),
+                static_cast<double>(result->sorted_accesses) /
+                    static_cast<double>(3 * table.num_rows()));
+  }
+  std::printf("(coarser bands => fewer, fatter buckets => earlier majority "
+              "certification but less discriminating answers)\n");
+}
+
+void PenaltyObjectiveAblation() {
+  std::printf("\n### A3: Kemeny objective penalty p (n=8, m=7)\n");
+  std::printf("Observation first derived from this ablation: when the "
+              "OUTPUT is a full ranking,\nevery pair tied in an input costs "
+              "p *whichever way* the output orders it, so the\np-term is a "
+              "constant offset and the optimal ranking is p-invariant. The "
+              "table\nverifies it (changed = 0 expected, the costs differ "
+              "but the argmin does not):\n");
+  std::printf("%-6s %-18s %-18s\n", "p", "changed rankings",
+              "mean K-dist to p=.5 optimum");
+  Rng rng(7);
+  std::vector<std::vector<BucketOrder>> instances;
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 7; ++i) inputs.push_back(RandomFewValued(8, 3, rng));
+    instances.push_back(std::move(inputs));
+  }
+  std::vector<Permutation> baseline;
+  for (const auto& inputs : instances) {
+    baseline.push_back(ExactKemeny(inputs, 0.5)->ranking);
+  }
+  for (double p : {0.0, 0.5, 1.0}) {
+    int changed = 0;
+    OnlineStats dist;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      auto result = ExactKemeny(instances[i], p);
+      if (!result.ok()) continue;
+      if (!(result->ranking == baseline[i])) ++changed;
+      dist.Add(static_cast<double>(KendallTau(result->ranking, baseline[i])));
+    }
+    std::printf("%-6.2f %-18d %-18.2f\n", p, changed, dist.mean());
+  }
+  std::printf("(p only matters when the output itself may contain ties — "
+              "i.e. for partial-ranking\naggregation, where keeping a pair "
+              "tied costs 0 against agreeing inputs.)\n");
+}
+
+void WeightAblation() {
+  std::printf("\n### A4: voter weights (n=30, 5 voters, weight sweep on "
+              "voter 0)\n");
+  std::printf("%-10s %-22s %-18s\n", "weight",
+              "K(aggregate, voter 0)", "K(aggregate, others avg)");
+  Rng rng(2718);
+  const Permutation truth = Permutation::Random(30, rng);
+  std::vector<BucketOrder> voters;
+  for (int i = 0; i < 5; ++i) {
+    voters.push_back(QuantizedMallows(truth, 0.8, 6, rng));
+  }
+  for (std::int64_t w : {1, 2, 3, 5, 9, 99}) {
+    std::vector<std::int64_t> weights(5, 1);
+    weights[0] = w;
+    auto full = WeightedMedianAggregateFull(voters, weights);
+    if (!full.ok()) continue;
+    const BucketOrder aggregate = BucketOrder::FromPermutation(*full);
+    const double to_boss = Kprof(aggregate, voters[0]);
+    double to_rest = 0;
+    for (int i = 1; i < 5; ++i) to_rest += Kprof(aggregate, voters[i]) / 4.0;
+    std::printf("%-10lld %-22.1f %-18.1f\n", static_cast<long long>(w),
+                to_boss, to_rest);
+  }
+  std::printf("(weight > m/2 makes voter 0 a dictator: the aggregate "
+              "converges onto its ranking)\n");
+}
+
+}  // namespace
+}  // namespace rankties
+
+int main() {
+  std::printf("=== Ablations over design choices ===\n");
+  rankties::MedianPolicyAblation();
+  rankties::GranularityAblation();
+  rankties::PenaltyObjectiveAblation();
+  rankties::WeightAblation();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E2: the Hausdorff metrics are computable in polynomial time (Theorem 5 /
+// Proposition 6) even though their definition ranges over exponentially
+// many refinements. Times the polynomial algorithms against the exponential
+// brute force where the latter is feasible, then shows scaling.
+
+#include <cstdio>
+
+#include "core/hausdorff.h"
+#include "gen/random_orders.h"
+#include "rank/refinement.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace rankties {
+namespace {
+
+void BruteVsPolynomial() {
+  std::printf("\n### brute force (exponential) vs Theorem 5 (polynomial)\n");
+  std::printf("%-4s %-16s %-14s %-14s %-10s\n", "n", "#refinement pairs",
+              "brute (ms)", "Thm5 (ms)", "agree");
+  Rng rng(1);
+  for (std::size_t n : {4u, 5u, 6u, 7u, 8u}) {
+    const BucketOrder sigma = RandomBucketOrderWithBuckets(n, n / 2 + 1, rng);
+    const BucketOrder tau = RandomBucketOrderWithBuckets(n, n / 2 + 1, rng);
+    const std::int64_t pairs =
+        CountFullRefinements(sigma) * CountFullRefinements(tau);
+    Stopwatch brute_watch;
+    const std::int64_t brute_k = KHausdorffBrute(sigma, tau);
+    const std::int64_t brute_f = FHausdorffBrute(sigma, tau);
+    const double brute_ms = brute_watch.Millis();
+    Stopwatch fast_watch;
+    const std::int64_t fast_k = KHausdorff(sigma, tau);
+    const std::int64_t fast_f = TwiceFHausdorff(sigma, tau) / 2;
+    const double fast_ms = fast_watch.Millis();
+    std::printf("%-4zu %-16lld %-14.3f %-14.5f %s\n", n,
+                static_cast<long long>(pairs), brute_ms, fast_ms,
+                (brute_k == fast_k && 2 * brute_f == TwiceFHausdorff(sigma, tau))
+                    ? "yes"
+                    : "NO <-- MISMATCH");
+    (void)fast_f;
+  }
+}
+
+void Scaling() {
+  std::printf("\n### polynomial-path scaling (per-call wall time)\n");
+  std::printf("%-8s %-16s %-16s %-16s\n", "n", "KHaus/Prop6 (ms)",
+              "KHaus/Thm5 (ms)", "FHaus/Thm5 (ms)");
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    Rng rng(7 + n);
+    const BucketOrder sigma = RandomFewValued(n, 6.0, rng);
+    const BucketOrder tau = RandomFewValued(n, 6.0, rng);
+    const int reps = n <= 4096 ? 20 : 5;
+    Stopwatch w1;
+    for (int r = 0; r < reps; ++r) KHausdorff(sigma, tau);
+    const double prop6 = w1.Millis() / reps;
+    Stopwatch w2;
+    for (int r = 0; r < reps; ++r) KHausdorffTheorem5(sigma, tau);
+    const double thm5k = w2.Millis() / reps;
+    Stopwatch w3;
+    for (int r = 0; r < reps; ++r) TwiceFHausdorff(sigma, tau);
+    const double thm5f = w3.Millis() / reps;
+    std::printf("%-8zu %-16.3f %-16.3f %-16.3f\n", n, prop6, thm5k, thm5f);
+  }
+}
+
+}  // namespace
+}  // namespace rankties
+
+int main() {
+  std::printf("=== E2: Hausdorff metrics in polynomial time (Thm 5/Prop 6) "
+              "===\n");
+  std::printf("Paper claim: the max-min over exponentially many refinement\n"
+              "pairs is attained at two constructible pairs; the resulting\n"
+              "algorithms are 'extremely simple' and polynomial.\n");
+  rankties::BruteVsPolynomial();
+  rankties::Scaling();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E14: exact Kemeny machinery at scale. How far can each exact method go,
+// and how close do the cheap methods land?
+//  * Held-Karp 2^n DP (n <= 18), 3^n partial DP (n <= 13),
+//  * branch-and-bound with the pairwise-min bound (n = 20-40 when voters
+//    correlate), seeded by locally-Kemenized median,
+//  * pivot (KwikSort) and median+LK as the cheap contenders.
+
+#include <cstdio>
+
+#include "core/cost.h"
+#include "core/kemeny.h"
+#include "core/kemeny_bnb.h"
+#include "core/local_kemenization.h"
+#include "core/median_rank.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+namespace rankties {
+namespace {
+
+void ExactScaling() {
+  std::printf("\n### exact-method wall time vs n (m=7 quantized-Mallows "
+              "voters, phi=0.5)\n");
+  std::printf("%-6s %-14s %-14s %-16s %-12s %s\n", "n", "held-karp (ms)",
+              "3^n partial", "B&B (ms)", "B&B nodes", "proven");
+  for (std::size_t n : {8u, 10u, 12u, 14u, 16u, 20u, 24u, 28u}) {
+    Rng rng(17 * n);
+    const Permutation truth = Permutation::Random(n, rng);
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 7; ++i) {
+      inputs.push_back(QuantizedMallows(truth, 0.5, n / 3 + 2, rng));
+    }
+    double hk_ms = -1, partial_ms = -1;
+    if (n <= 16) {
+      Stopwatch watch;
+      auto result = ExactKemeny(inputs, 0.5);
+      if (result.ok()) hk_ms = watch.Millis();
+    }
+    if (n <= 13) {
+      Stopwatch watch;
+      auto result = ExactKemenyPartial(inputs, 0.5);
+      if (result.ok()) partial_ms = watch.Millis();
+    }
+    Stopwatch watch;
+    auto bnb = KemenyBranchAndBound(inputs, 0.5, 20'000'000);
+    const double bnb_ms = watch.Millis();
+    if (!bnb.ok()) continue;
+    auto fmt = [](double ms) {
+      static char buffer[2][32];
+      static int which = 0;
+      which ^= 1;
+      if (ms < 0) {
+        std::snprintf(buffer[which], sizeof(buffer[which]), "-");
+      } else {
+        std::snprintf(buffer[which], sizeof(buffer[which]), "%.1f", ms);
+      }
+      return buffer[which];
+    };
+    std::printf("%-6zu %-14s %-14s %-16.1f %-12lld %s\n", n, fmt(hk_ms),
+                fmt(partial_ms), bnb_ms, static_cast<long long>(bnb->nodes),
+                bnb->proven_optimal ? "yes" : "budget out");
+  }
+}
+
+void HardInstances() {
+  std::printf("\n### B&B on hard (independent-voter) instances, m=5, "
+              "budget 2M nodes (independent voters are the worst case; "
+              "nodes grow steeply past n~20)\n");
+  std::printf("%-6s %-14s %-14s %s\n", "n", "B&B (ms)", "nodes", "proven");
+  for (std::size_t n : {12u, 16u, 20u, 22u}) {
+    Rng rng(131 * n);
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 5; ++i) {
+      inputs.push_back(RandomBucketOrder(n, rng));
+    }
+    Stopwatch watch;
+    auto bnb = KemenyBranchAndBound(inputs, 0.5, 2'000'000);
+    if (!bnb.ok()) continue;
+    std::printf("%-6zu %-14.1f %-14lld %s\n", n, watch.Millis(),
+                static_cast<long long>(bnb->nodes),
+                bnb->proven_optimal ? "yes" : "budget out");
+  }
+}
+
+void CheapVsExact() {
+  std::printf("\n### cheap methods vs B&B-proven optimum (n=20, m=9, "
+              "phi=0.6, sumKprof ratios)\n");
+  std::printf("%-18s %-12s %-12s\n", "method", "mean", "worst");
+  Rng rng(99);
+  OnlineStats median_lk, pivot, median_plain;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Permutation truth = Permutation::Random(20, rng);
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 9; ++i) {
+      inputs.push_back(QuantizedMallows(truth, 0.6, 8, rng));
+    }
+    auto bnb = KemenyBranchAndBound(inputs, 0.5, 20'000'000);
+    if (!bnb.ok() || !bnb->proven_optimal) continue;
+    const double optimum = static_cast<double>(bnb->twice_cost) / 2.0;
+    auto ratio = [&](const Permutation& candidate) {
+      return ApproxRatio(
+          TotalKendallP(BucketOrder::FromPermutation(candidate), inputs, 0.5),
+          optimum);
+    };
+    auto median = MedianAggregateFull(inputs, MedianPolicy::kLower);
+    if (median.ok()) {
+      median_plain.Add(ratio(*median));
+      median_lk.Add(ratio(LocalKemenization(*median, inputs, 0.5)));
+    }
+    pivot.Add(ratio(PivotAggregate(inputs, 0.5, rng)));
+  }
+  std::printf("%-18s %-12.4f %-12.4f\n", "median", median_plain.mean(),
+              median_plain.max());
+  std::printf("%-18s %-12.4f %-12.4f\n", "median+LK", median_lk.mean(),
+              median_lk.max());
+  std::printf("%-18s %-12.4f %-12.4f\n", "pivot (KwikSort)", pivot.mean(),
+              pivot.max());
+}
+
+}  // namespace
+}  // namespace rankties
+
+int main() {
+  std::printf("=== E14: exact Kemeny at scale (Held-Karp vs 3^n partial vs "
+              "branch-and-bound) ===\n");
+  rankties::ExactScaling();
+  rankties::HardInstances();
+  rankties::CheapVsExact();
+  return 0;
+}

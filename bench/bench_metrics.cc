@@ -1,0 +1,91 @@
+// E9: "all metrics admit efficient computation" (paper §4).
+// Timing of Kprof / Fprof / KHaus / FHaus and of the O(n log n) pair engine
+// vs the naive O(n^2) engine across domain sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/footrule.h"
+#include "core/hausdorff.h"
+#include "core/pair_counts.h"
+#include "core/profile_metrics.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+std::pair<BucketOrder, BucketOrder> MakePair(std::size_t n,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  return {RandomFewValued(n, 5.0, rng), RandomFewValued(n, 5.0, rng)};
+}
+
+void BM_Kprof(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto [sigma, tau] = MakePair(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwiceKprof(sigma, tau));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Kprof)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_Fprof(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto [sigma, tau] = MakePair(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwiceFprof(sigma, tau));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fprof)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_KHaus(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto [sigma, tau] = MakePair(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KHausdorff(sigma, tau));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KHaus)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_KHausTheorem5(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto [sigma, tau] = MakePair(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KHausdorffTheorem5(sigma, tau));
+  }
+}
+BENCHMARK(BM_KHausTheorem5)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_FHaus(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto [sigma, tau] = MakePair(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwiceFHausdorff(sigma, tau));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FHaus)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_PairCountsFast(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto [sigma, tau] = MakePair(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePairCounts(sigma, tau));
+  }
+}
+BENCHMARK(BM_PairCountsFast)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_PairCountsNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto [sigma, tau] = MakePair(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePairCountsNaive(sigma, tau));
+  }
+}
+BENCHMARK(BM_PairCountsNaive)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace rankties

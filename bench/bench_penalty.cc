@@ -1,0 +1,60 @@
+// E1: the K^(p) phase diagram (Proposition 13) — metric for p in [1/2, 1],
+// near metric for p in (0, 1/2), not a distance measure at p = 0. Measures
+// triangle-violation rates and worst ratios across the p sweep.
+
+#include <cstdio>
+
+#include "core/near_metric.h"
+#include "core/profile_metrics.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+void RunSweep(std::size_t n, std::int64_t trials) {
+  std::printf("\n### K^(p) triangle probe, n=%zu, %lld random triples per p\n",
+              n, static_cast<long long>(trials));
+  std::printf("%-6s %-12s %-14s %-14s %s\n", "p", "violations", "rate",
+              "worst ratio", "paper claim");
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.49, 0.5, 0.6, 0.75, 0.9, 1.0}) {
+    Rng rng(static_cast<std::uint64_t>(p * 1000) + n);
+    const MetricFn dist = [p](const BucketOrder& a, const BucketOrder& b) {
+      return KendallP(a, b, p);
+    };
+    const TriangleProbe probe = ProbeTriangleInequality(
+        dist, [n](Rng& r) { return RandomBucketOrder(n, r); }, trials, rng);
+    const char* claim = p == 0.0  ? "not a distance measure"
+                        : p < 0.5 ? "near metric (violations OK, bounded)"
+                                  : "metric (no violations)";
+    std::printf("%-6.2f %-12lld %-14.4f %-14.4f %s\n", p,
+                static_cast<long long>(probe.violations),
+                static_cast<double>(probe.violations) /
+                    static_cast<double>(probe.trials),
+                probe.worst_ratio, claim);
+  }
+}
+
+void RunRegularityProbe() {
+  std::printf("\n### p = 0 regularity failure (A.2 example)\n");
+  // tau1 = [0 | 1], tau2 = [0 1], tau3 = [1 | 0].
+  auto tau1 = BucketOrder::FromBuckets(2, {{0}, {1}});
+  auto tau3 = BucketOrder::FromBuckets(2, {{1}, {0}});
+  const BucketOrder tau2 = BucketOrder::SingleBucket(2);
+  std::printf("K0(t1,t2)=%.1f K0(t2,t3)=%.1f K0(t1,t3)=%.1f  "
+              "(0 + 0 < 1: near triangle inequality violated badly)\n",
+              KendallP(*tau1, tau2, 0.0), KendallP(tau2, *tau3, 0.0),
+              KendallP(*tau1, *tau3, 0.0));
+}
+
+}  // namespace
+}  // namespace rankties
+
+int main() {
+  std::printf("=== E1: K^(p) penalty family (Proposition 13) ===\n");
+  rankties::RunSweep(6, 3000);
+  rankties::RunSweep(12, 1500);
+  rankties::RunSweep(24, 800);
+  rankties::RunRegularityProbe();
+  return 0;
+}

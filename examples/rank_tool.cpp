@@ -1,0 +1,209 @@
+// rank_tool: a small command-line front end over the library, so the
+// paper's machinery can be driven from shell scripts without writing C++.
+//
+// Usage:
+//   rank_tool dist <file>              pairwise distance matrices (all four
+//                                      metrics) over the bucket orders in
+//                                      <file>, one per line: "[0 1 | 2]"
+//   rank_tool agg <file> [k]           median aggregation (full ranking,
+//                                      top-k list if k given, and f-dagger)
+//   rank_tool gen <n> <m> [phi [t]]    emit m random bucket orders on n
+//                                      elements (quantized Mallows with
+//                                      dispersion phi into t buckets; plain
+//                                      uniform if phi omitted)
+//   rank_tool query <csv> <schema> <q> preference query over a CSV table.
+//                                      <schema> is comma-separated
+//                                      name=num|cat pairs; <q> uses the
+//                                      query syntax of db/query_parser.h,
+//                                      e.g. "price:asc~50 stars:desc"
+//
+// Example:
+//   rank_tool gen 10 5 0.5 4 > voters.txt
+//   rank_tool dist voters.txt
+//   rank_tool agg voters.txt 3
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "rankties.h"
+
+using namespace rankties;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rank_tool: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<std::vector<BucketOrder>> LoadOrders(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<std::vector<BucketOrder>> orders = ParseBucketOrders(buffer.str());
+  if (!orders.ok()) return orders.status();
+  if (orders->empty()) return Status::InvalidArgument("no bucket orders");
+  const std::size_t n = orders->front().n();
+  for (const BucketOrder& order : *orders) {
+    if (order.n() != n) {
+      return Status::InvalidArgument("domain sizes differ between lines");
+    }
+  }
+  return orders;
+}
+
+int CmdDist(const std::string& path) {
+  auto orders = LoadOrders(path);
+  if (!orders.ok()) return Fail(orders.status().ToString());
+  for (MetricKind kind : AllMetricKinds()) {
+    std::printf("# %s\n", MetricName(kind));
+    for (std::size_t i = 0; i < orders->size(); ++i) {
+      for (std::size_t j = 0; j < orders->size(); ++j) {
+        std::printf("%s%.1f", j ? "\t" : "",
+                    ComputeMetric(kind, (*orders)[i], (*orders)[j]));
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdAgg(const std::string& path, int k) {
+  auto orders = LoadOrders(path);
+  if (!orders.ok()) return Fail(orders.status().ToString());
+  auto full = MedianAggregateFull(*orders, MedianPolicy::kLower);
+  if (!full.ok()) return Fail(full.status().ToString());
+  std::printf("median full ranking: %s\n", full->ToString().c_str());
+  if (k > 0) {
+    auto topk = MedianAggregateTopK(*orders, static_cast<std::size_t>(k),
+                                    MedianPolicy::kLower);
+    if (!topk.ok()) return Fail(topk.status().ToString());
+    std::printf("median top-%d      : %s\n", k, topk->ToString().c_str());
+  }
+  auto scores = MedianRankScoresQuad(*orders, MedianPolicy::kLower);
+  auto fdagger = OptimalBucketing(*scores);
+  if (!fdagger.ok()) return Fail(fdagger.status().ToString());
+  std::printf("f-dagger           : %s\n", fdagger->order.ToString().c_str());
+  std::printf("sum Fprof: full=%.1f f-dagger=%.1f best-input=%.1f\n",
+              TotalDistance(MetricKind::kFprof,
+                            BucketOrder::FromPermutation(*full), *orders),
+              TotalDistance(MetricKind::kFprof, fdagger->order, *orders),
+              BestInputAggregate(*orders, MetricKind::kFprof)->total_cost);
+  return 0;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Fail("gen needs <n> <m>");
+  const std::size_t n = static_cast<std::size_t>(std::atoi(argv[2]));
+  const std::size_t m = static_cast<std::size_t>(std::atoi(argv[3]));
+  if (n == 0 || m == 0) return Fail("n and m must be positive");
+  const double phi = argc > 4 ? std::atof(argv[4]) : 0.0;
+  const std::size_t t = argc > 5
+                            ? static_cast<std::size_t>(std::atoi(argv[5]))
+                            : std::max<std::size_t>(2, n / 4);
+  Rng rng(static_cast<std::uint64_t>(n * 1000003 + m));
+  const Permutation center = Permutation::Random(n, rng);
+  std::vector<BucketOrder> orders;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (phi > 0 && phi <= 1 && t >= 1 && t <= n) {
+      orders.push_back(QuantizedMallows(center, phi, t, rng));
+    } else {
+      orders.push_back(RandomBucketOrder(n, rng));
+    }
+  }
+  std::printf("%s", FormatBucketOrders(orders).c_str());
+  return 0;
+}
+
+StatusOr<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Column> columns;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected name=num|cat in '" + item +
+                                     "'");
+    }
+    const std::string kind = item.substr(eq + 1);
+    Column column;
+    column.name = item.substr(0, eq);
+    if (kind == "num") {
+      column.type = ColumnType::kNumeric;
+    } else if (kind == "cat") {
+      column.type = ColumnType::kCategorical;
+    } else {
+      return Status::InvalidArgument("column kind must be num or cat in '" +
+                                     item + "'");
+    }
+    columns.push_back(std::move(column));
+  }
+  if (columns.empty()) return Status::InvalidArgument("empty schema spec");
+  return Schema(std::move(columns));
+}
+
+int CmdQuery(const std::string& csv_path, const std::string& schema_spec,
+             const std::string& query_text) {
+  auto schema = ParseSchemaSpec(schema_spec);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  std::ifstream in(csv_path);
+  if (!in) return Fail("cannot open '" + csv_path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto table = Table::FromCsv(*schema, buffer.str());
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto prefs = ParsePreferences(*schema, query_text);
+  if (!prefs.ok()) return Fail(prefs.status().ToString());
+
+  PreferenceQuery query(*table);
+  for (const AttributePreference& pref : *prefs) query.Add(pref);
+  auto result = query.TopK(10);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("top rows (best first):\n");
+  for (ElementId row : result->top_rows) {
+    std::printf("  #%-6d", row);
+    for (std::size_t c = 0; c < schema->num_columns(); ++c) {
+      std::printf(" %s=%s", schema->column(c).name.c_str(),
+                  table->At(static_cast<std::size_t>(row), c)
+                      .ToString()
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+  auto online = query.TopKMedrank(10);
+  if (online.ok()) {
+    std::printf("(MEDRANK path used %lld sorted accesses of %zu possible)\n",
+                static_cast<long long>(online->sorted_accesses),
+                prefs->size() * table->num_rows());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: rank_tool dist|agg|gen ... (see file header)");
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "dist") {
+    if (argc < 3) return Fail("dist needs a file");
+    return CmdDist(argv[2]);
+  }
+  if (cmd == "agg") {
+    if (argc < 3) return Fail("agg needs a file");
+    return CmdAgg(argv[2], argc > 3 ? std::atoi(argv[3]) : 0);
+  }
+  if (cmd == "gen") {
+    return CmdGen(argc, argv);
+  }
+  if (cmd == "query") {
+    if (argc < 5) return Fail("query needs <csv> <schema> <query>");
+    return CmdQuery(argv[2], argv[3], argv[4]);
+  }
+  return Fail("unknown command '" + cmd + "'");
+}

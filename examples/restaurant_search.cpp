@@ -1,0 +1,85 @@
+// The paper's Section 1 motivating scenario (dine.com): rank restaurants by
+// user preferences over few-valued attributes — cuisine (categorical),
+// distance (quantized into 10-mile bands), price tier, star rating — and
+// aggregate the heavily tied per-attribute rankings with median rank.
+//
+// Demonstrates: Table sorts -> BucketOrder, tie statistics, offline median
+// top-k, and the sorted-access MEDRANK path with access accounting.
+
+#include <cstdio>
+
+#include "rankties.h"
+
+using namespace rankties;
+
+int main() {
+  Rng rng(4711);
+  const Table restaurants = MakeRestaurantTable(2000, rng);
+  std::printf("catalog: %zu restaurants, schema:", restaurants.num_rows());
+  for (const Column& column : restaurants.schema().columns()) {
+    std::printf(" %s", column.name.c_str());
+  }
+  std::printf("\n\n");
+
+  // "I'd like Thai or Italian, close by (any distance within the same
+  //  10-mile band is the same to me), cheap, and well rated."
+  PreferenceQuery query(restaurants);
+  query
+      .Add({.column = "cuisine",
+            .mode = AttributePreference::Mode::kCategoryOrder,
+            .category_order = {"thai", "italian"}})
+      .Add({.column = "distance_miles",
+            .mode = AttributePreference::Mode::kAscending,
+            .granularity = 10.0})
+      .Add({.column = "price_tier",
+            .mode = AttributePreference::Mode::kAscending})
+      .Add({.column = "stars",
+            .mode = AttributePreference::Mode::kDescending});
+
+  // The paper's premise: sorting by few-valued attributes produces partial
+  // rankings with huge buckets, where classical permutation machinery
+  // breaks down.
+  const std::vector<BucketOrder> rankings = query.DeriveRankings().value();
+  std::printf("per-attribute rankings (note the tie volume):\n");
+  const char* names[] = {"cuisine", "distance", "price", "stars"};
+  for (std::size_t i = 0; i < rankings.size(); ++i) {
+    const TieProfile profile = ProfileTies(rankings[i]);
+    std::printf("  %-10s %4zu buckets, largest bucket %5zu of %zu\n",
+                names[i], profile.num_buckets, profile.largest_bucket,
+                rankings[i].n());
+  }
+
+  // Offline aggregation: median rank over all rows.
+  const QueryResult offline = query.TopK(5).value();
+  std::printf("\ntop-5 by median rank (offline):\n");
+  for (ElementId row : offline.top_rows) {
+    const std::size_t r = static_cast<std::size_t>(row);
+    std::printf("  #%-5d %-10s %5s mi, tier %s, %s stars\n", row,
+                restaurants.At(r, 0).ToString().c_str(),
+                restaurants.At(r, 1).ToString().c_str(),
+                restaurants.At(r, 2).ToString().c_str(),
+                restaurants.At(r, 3).ToString().c_str());
+  }
+
+  // Database-friendly retrieval: MEDRANK under sorted access reads only a
+  // sliver of the lists (instance optimality, Section 6).
+  const QueryResult online = query.TopKMedrank(5).value();
+  std::printf("\nMEDRANK (sorted access) winners:");
+  for (ElementId row : online.top_rows) std::printf(" #%d", row);
+  std::printf("\nsorted accesses: %lld of %zu possible (%.2f%%)\n",
+              static_cast<long long>(online.sorted_accesses),
+              rankings.size() * restaurants.num_rows(),
+              100.0 * static_cast<double>(online.sorted_accesses) /
+                  static_cast<double>(rankings.size() * restaurants.num_rows()));
+
+  // How close are the attribute rankings to each other? (Metric showcase.)
+  std::printf("\npairwise Kprof distances between attribute rankings:\n");
+  for (std::size_t i = 0; i < rankings.size(); ++i) {
+    std::printf("  ");
+    for (std::size_t j = 0; j < rankings.size(); ++j) {
+      std::printf("%10.0f", Kprof(rankings[i], rankings[j]));
+    }
+    std::printf("   (%s)\n", names[i]);
+  }
+  return 0;
+}

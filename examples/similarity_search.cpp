@@ -1,0 +1,92 @@
+// Similarity search and classification via rank aggregation — the [11]
+// application cited in the paper's introduction. Each feature ranks the
+// database by proximity to the query; the per-feature rankings (full of
+// ties for coarse features) are aggregated by median rank through the
+// sorted-access MEDRANK engine.
+//
+// Scenario: a tiny wine-style dataset with incommensurable features
+// (acidity in pH, sugar in g/L, alcohol in %, hue as a coarse 1-5 code) —
+// exactly where raw Euclidean distance is meaningless but rank aggregation
+// just works.
+
+#include <cstdio>
+
+#include "rankties.h"
+
+using namespace rankties;
+
+int main() {
+  Rng rng(88);
+  // Three synthetic "grape varieties" in feature space
+  // (pH, sugar g/L, alcohol %, hue code 1-5).
+  struct Variety {
+    const char* name;
+    double ph, sugar, alcohol, hue;
+  };
+  const Variety varieties[] = {
+      {"crispling", 3.0, 2.0, 11.0, 1.0},
+      {"amberline", 3.4, 9.0, 12.5, 3.0},
+      {"duskvine", 3.8, 4.0, 14.0, 5.0},
+  };
+
+  std::vector<std::vector<double>> points;
+  std::vector<std::string> labels;
+  for (const Variety& v : varieties) {
+    for (int i = 0; i < 40; ++i) {
+      points.push_back({v.ph + rng.Normal(0, 0.08),
+                        v.sugar + rng.Normal(0, 0.8),
+                        v.alcohol + rng.Normal(0, 0.4),
+                        std::clamp(v.hue + rng.UniformInt(-1, 1), 1.0, 5.0)});
+      labels.push_back(v.name);
+    }
+  }
+  const SimilarityIndex index = SimilarityIndex::Build(points).value();
+  std::printf("indexed %zu wines, %zu features "
+              "(pH, sugar, alcohol, hue)\n\n", index.size(),
+              index.dimensions());
+
+  // Classify held-out samples.
+  int correct = 0, total = 0;
+  for (const Variety& v : varieties) {
+    for (int i = 0; i < 20; ++i) {
+      const std::vector<double> sample = {
+          v.ph + rng.Normal(0, 0.08), v.sugar + rng.Normal(0, 0.8),
+          v.alcohol + rng.Normal(0, 0.4),
+          std::clamp(v.hue + rng.UniformInt(-1, 1), 1.0, 5.0)};
+      const std::string predicted =
+          index.Classify(sample, labels, 9).value();
+      if (predicted == v.name) ++correct;
+      ++total;
+    }
+  }
+  std::printf("held-out classification accuracy: %d/%d (%.0f%%)\n", correct,
+              total, 100.0 * correct / total);
+
+  // Show one query in detail, with access accounting.
+  const std::vector<double> query = {3.39, 8.6, 12.4, 3.0};
+  const auto result = index.Nearest(query, 5).value();
+  std::printf("\nquery (pH 3.39, sugar 8.6, alc 12.4, hue 3): "
+              "5 nearest by median rank:\n");
+  for (std::int32_t neighbor : result.neighbors) {
+    const auto& p = points[static_cast<std::size_t>(neighbor)];
+    std::printf("  #%-4d %-10s pH %.2f  sugar %4.1f  alc %4.1f  hue %.0f\n",
+                neighbor, labels[static_cast<std::size_t>(neighbor)].c_str(),
+                p[0], p[1], p[2], p[3]);
+  }
+  std::printf("sorted accesses: %lld of %zu possible\n",
+              static_cast<long long>(result.sorted_accesses),
+              index.dimensions() * index.size());
+
+  // The scale-freeness demo: stretch sugar by 1000x -- identical answers.
+  std::vector<std::vector<double>> stretched = points;
+  for (auto& p : stretched) p[1] *= 1000.0;
+  const SimilarityIndex index2 = SimilarityIndex::Build(stretched).value();
+  std::vector<double> query2 = query;
+  query2[1] *= 1000.0;
+  const auto result2 = index2.Nearest(query2, 5).value();
+  std::printf("\nafter scaling sugar by 1000x: neighbors %s\n",
+              result2.neighbors == result.neighbors
+                  ? "unchanged (rank aggregation is scale-free)"
+                  : "changed (?!)");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#ifndef RANKTIES_ACCESS_ACCESS_MODEL_H_
+#define RANKTIES_ACCESS_ACCESS_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rank/bucket_order.h"
+
+namespace rankties {
+
+/// One sorted access: the next element of a ranked list together with its
+/// exact (doubled) position in that list.
+struct SortedAccess {
+  ElementId element = -1;
+  std::int64_t twice_position = 0;
+};
+
+/// The sequential (sorted) access model of Fagin–Lotem–Naor [12] used by
+/// the paper's database-friendly aggregation (§6): a ranked list can only
+/// be read front-to-back, one element per access; no random access. Access
+/// counts are the cost measure.
+class SortedAccessSource {
+ public:
+  virtual ~SortedAccessSource() = default;
+
+  /// Domain size of the underlying ranking.
+  virtual std::size_t n() const = 0;
+
+  /// Returns the next element in ranked order, or nullopt when exhausted.
+  /// Elements within a tied bucket are surfaced in ascending element id
+  /// (deterministic; any order is legal in the model).
+  virtual std::optional<SortedAccess> Next() = 0;
+
+  /// Number of Next() calls that returned an element so far.
+  virtual std::int64_t accesses() const = 0;
+
+  /// Rewinds to the front and resets the access counter.
+  virtual void Reset() = 0;
+};
+
+/// A SortedAccessSource over an in-memory BucketOrder.
+class BucketOrderSource : public SortedAccessSource {
+ public:
+  /// Keeps a reference; `order` must outlive the source.
+  explicit BucketOrderSource(const BucketOrder& order);
+
+  std::size_t n() const override { return order_.n(); }
+  std::optional<SortedAccess> Next() override;
+  std::int64_t accesses() const override { return accesses_; }
+  void Reset() override;
+
+ private:
+  const BucketOrder& order_;
+  std::size_t bucket_ = 0;
+  std::size_t offset_ = 0;
+  std::int64_t accesses_ = 0;
+};
+
+/// Convenience: wraps each bucket order in a BucketOrderSource.
+/// The orders must outlive the returned sources.
+std::vector<std::unique_ptr<SortedAccessSource>> MakeSources(
+    const std::vector<BucketOrder>& orders);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_ACCESS_ACCESS_MODEL_H_

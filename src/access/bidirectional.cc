@@ -1,0 +1,89 @@
+#include "access/bidirectional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rankties {
+
+BidirectionalCursor::BidirectionalCursor(const std::vector<double>& values,
+                                         double query) {
+  BuildSchedule(values, query);
+}
+
+void BidirectionalCursor::BuildSchedule(const std::vector<double>& values,
+                                        double query) {
+  n_ = values.size();
+  std::vector<ElementId> by_value(n_);
+  std::iota(by_value.begin(), by_value.end(), 0);
+  std::sort(by_value.begin(), by_value.end(), [&](ElementId a, ElementId b) {
+    return values[static_cast<std::size_t>(a)] <
+           values[static_cast<std::size_t>(b)];
+  });
+
+  // Two cursors walk outward from the query's insertion point; each step
+  // takes the closer side, so elements appear in non-decreasing |v - q|.
+  std::ptrdiff_t right = std::lower_bound(by_value.begin(), by_value.end(),
+                                          query,
+                                          [&](ElementId e, double q) {
+                                            return values[static_cast<std::size_t>(e)] < q;
+                                          }) -
+                         by_value.begin();
+  std::ptrdiff_t left = right - 1;
+  std::vector<ElementId> merged;
+  std::vector<double> distances;
+  merged.reserve(n_);
+  distances.reserve(n_);
+  while (left >= 0 || right < static_cast<std::ptrdiff_t>(n_)) {
+    const double dl =
+        left >= 0
+            ? query - values[static_cast<std::size_t>(
+                          by_value[static_cast<std::size_t>(left)])]
+            : std::numeric_limits<double>::infinity();
+    const double dr =
+        right < static_cast<std::ptrdiff_t>(n_)
+            ? values[static_cast<std::size_t>(
+                  by_value[static_cast<std::size_t>(right)])] -
+                  query
+            : std::numeric_limits<double>::infinity();
+    if (dl <= dr) {
+      merged.push_back(by_value[static_cast<std::size_t>(left)]);
+      distances.push_back(dl);
+      --left;
+    } else {
+      merged.push_back(by_value[static_cast<std::size_t>(right)]);
+      distances.push_back(dr);
+      ++right;
+    }
+  }
+
+  // Group equal distances into tie buckets and assign doubled positions.
+  schedule_.resize(n_);
+  std::size_t i = 0;
+  std::int64_t before = 0;
+  while (i < n_) {
+    std::size_t j = i;
+    while (j < n_ && distances[j] == distances[i]) ++j;
+    const std::int64_t size = static_cast<std::int64_t>(j - i);
+    const std::int64_t twice_pos = 2 * before + size + 1;
+    for (std::size_t l = i; l < j; ++l) {
+      schedule_[l] = SortedAccess{merged[l], twice_pos};
+    }
+    before += size;
+    i = j;
+  }
+}
+
+std::optional<SortedAccess> BidirectionalCursor::Next() {
+  if (cursor_ >= schedule_.size()) return std::nullopt;
+  ++accesses_;
+  return schedule_[cursor_++];
+}
+
+void BidirectionalCursor::Reset() {
+  cursor_ = 0;
+  accesses_ = 0;
+}
+
+}  // namespace rankties

@@ -1,0 +1,45 @@
+#ifndef RANKTIES_ACCESS_BIDIRECTIONAL_H_
+#define RANKTIES_ACCESS_BIDIRECTIONAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "access/access_model.h"
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// The two-cursor sorted access of [11] (§6 of the paper): an attribute's
+/// values are kept sorted once; a preference query "closest to q" is served
+/// by seeding two cursors at q's position and walking them outward, yielding
+/// elements in non-decreasing |value - q| — the database never re-sorts per
+/// query and the access pattern stays localized and sequential.
+///
+/// Elements with equal distance form a tie; they share the same doubled
+/// position, exactly as in the bucket order RankByDistance would build.
+class BidirectionalCursor : public SortedAccessSource {
+ public:
+  /// `values[e]` is element e's attribute value; `query` the target.
+  BidirectionalCursor(const std::vector<double>& values, double query);
+
+  std::size_t n() const override { return n_; }
+  std::optional<SortedAccess> Next() override;
+  std::int64_t accesses() const override { return accesses_; }
+  void Reset() override;
+
+ private:
+  void BuildSchedule(const std::vector<double>& values, double query);
+
+  std::size_t n_ = 0;
+  // Precomputed access schedule: elements in non-decreasing distance with
+  // their doubled tie-aware positions.
+  std::vector<SortedAccess> schedule_;
+  std::size_t cursor_ = 0;
+  std::int64_t accesses_ = 0;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_ACCESS_BIDIRECTIONAL_H_

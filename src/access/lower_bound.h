@@ -1,0 +1,33 @@
+#ifndef RANKTIES_ACCESS_LOWER_BOUND_H_
+#define RANKTIES_ACCESS_LOWER_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/bucket_order.h"
+
+namespace rankties {
+
+/// An offline *certificate lower bound* on sorted accesses: any algorithm
+/// that certifies `winners` as majority winners must, at minimum, have seen
+/// each winner on more than m/2 lists; per list, seeing an element requires
+/// reading down to its depth (its 1-based arrival index in that list's
+/// deterministic access sequence).
+///
+/// For each winner we pick its floor(m/2)+1 shallowest lists (the cheapest
+/// certificate for that winner alone); the per-list requirement is the max
+/// over winners that chose the list; the bound is the sum over lists. This
+/// is a valid lower bound for any algorithm certifying the same winner set
+/// under sorted access, and the yardstick the instance-optimality bench
+/// (E8) reports the MEDRANK ratio against.
+std::int64_t CertificateLowerBound(const std::vector<BucketOrder>& inputs,
+                                   const std::vector<ElementId>& winners);
+
+/// Depth of element `e` in `order`'s deterministic access sequence
+/// (1-based): elements of earlier buckets first, ascending id within a
+/// bucket — exactly BucketOrderSource's order.
+std::int64_t AccessDepth(const BucketOrder& order, ElementId e);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_ACCESS_LOWER_BOUND_H_

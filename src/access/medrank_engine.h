@@ -1,0 +1,44 @@
+#ifndef RANKTIES_ACCESS_MEDRANK_ENGINE_H_
+#define RANKTIES_ACCESS_MEDRANK_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "access/access_model.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Result of a MEDRANK top-k run, with full access accounting.
+struct MedrankResult {
+  /// The k winners in the order they were certified (best first).
+  std::vector<ElementId> winners;
+  /// Accesses performed on each input list.
+  std::vector<std::int64_t> accesses_per_list;
+  /// Sum of accesses_per_list.
+  std::int64_t total_accesses = 0;
+  /// Depth (number of rounds of round-robin access) reached.
+  std::int64_t depth = 0;
+};
+
+/// The instance-optimal median-rank engine of Fagin–Kumar–Sivakumar [11]
+/// as used in §6 of the paper: perform sorted access on the m input lists
+/// in round-robin order; an element *wins* as soon as it has been seen on
+/// more than m/2 lists; stop when k elements have won. Under sorted access
+/// this reads "essentially as few elements of each partial ranking as are
+/// necessary to determine the winner(s)".
+///
+/// Sources are consumed (read and advanced); Reset() them to reuse.
+/// Fails if sources are empty, disagree on n, or k > n.
+StatusOr<MedrankResult> MedrankTopK(
+    const std::vector<std::unique_ptr<SortedAccessSource>>& sources,
+    std::size_t k);
+
+/// Convenience: builds BucketOrderSources over `inputs` and runs MedrankTopK.
+StatusOr<MedrankResult> MedrankTopK(const std::vector<BucketOrder>& inputs,
+                                    std::size_t k);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_ACCESS_MEDRANK_ENGINE_H_

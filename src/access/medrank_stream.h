@@ -1,0 +1,56 @@
+#ifndef RANKTIES_ACCESS_MEDRANK_STREAM_H_
+#define RANKTIES_ACCESS_MEDRANK_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "access/access_model.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Incremental MEDRANK: the paper's instantiation "access each of the
+/// partial rankings, one element at a time, until some object is seen more
+/// than m/2 times; output it" — as a pull-based stream, so callers pay only
+/// for the winners they actually consume (pagination: 'show 10 more
+/// results').
+///
+/// Construct with sources, call NextWinner() repeatedly; each call resumes
+/// the round-robin exactly where the last certification stopped.
+class MedrankStream {
+ public:
+  /// Takes ownership of the sources. They must all share a domain size; a
+  /// violated precondition surfaces on the first NextWinner() call.
+  explicit MedrankStream(std::vector<std::unique_ptr<SortedAccessSource>> sources);
+
+  /// The next certified winner, or nullopt when no further element can
+  /// reach a majority (all sources exhausted).
+  std::optional<ElementId> NextWinner();
+
+  /// Total sorted accesses so far.
+  std::int64_t total_accesses() const { return total_accesses_; }
+  /// Per-list accesses so far.
+  const std::vector<std::int64_t>& accesses_per_list() const {
+    return accesses_per_list_;
+  }
+  /// Winners certified so far, in order.
+  const std::vector<ElementId>& winners() const { return winners_; }
+
+ private:
+  std::vector<std::unique_ptr<SortedAccessSource>> sources_;
+  std::vector<std::int64_t> accesses_per_list_;
+  std::vector<std::int32_t> seen_count_;
+  std::vector<bool> won_;
+  std::vector<ElementId> winners_;
+  std::size_t next_list_ = 0;  // round-robin resume position
+  std::int64_t total_accesses_ = 0;
+  std::size_t majority_ = 0;
+  bool initialized_ = false;
+  bool exhausted_ = false;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_ACCESS_MEDRANK_STREAM_H_

@@ -1,0 +1,48 @@
+#ifndef RANKTIES_ACCESS_NRA_MEDIAN_H_
+#define RANKTIES_ACCESS_NRA_MEDIAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "access/access_model.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Exact top-k by *median score* under sorted access, in the
+/// no-random-access (NRA) style of Fagin–Lotem–Naor [12].
+///
+/// The majority-count MEDRANK engine certifies winners by *depth* — which
+/// coincides with median order on full rankings but only approximates it
+/// under heavy ties. This engine instead maintains, for every element,
+/// lower and upper bounds on its (lower-)median doubled position:
+///  * a list where the element was seen contributes its exact position;
+///  * an unseen list contributes at least the position at the list's
+///    current access frontier, and at most the maximum position 2n.
+/// It stops as soon as k elements' upper bounds dominate every other
+/// element's lower bound — returning the true median-score top-k set with
+/// as few accesses as the bounds allow.
+struct NraMedianResult {
+  /// The k elements with smallest lower-median positions. Within the
+  /// result, ordered by (proved upper bound, id) — NOT necessarily exact
+  /// score order; the *set* is exact (ties in the k-th score broken toward
+  /// smaller element id, matching the offline tie-break).
+  std::vector<ElementId> top;
+  std::vector<std::int64_t> accesses_per_list;
+  std::int64_t total_accesses = 0;
+};
+
+/// Runs the NRA median engine over the sources. Fails on empty/mismatched
+/// sources or k > n.
+StatusOr<NraMedianResult> NraMedianTopK(
+    const std::vector<std::unique_ptr<SortedAccessSource>>& sources,
+    std::size_t k);
+
+/// Convenience over in-memory bucket orders.
+StatusOr<NraMedianResult> NraMedianTopK(const std::vector<BucketOrder>& inputs,
+                                        std::size_t k);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_ACCESS_NRA_MEDIAN_H_

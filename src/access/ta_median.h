@@ -1,0 +1,39 @@
+#ifndef RANKTIES_ACCESS_TA_MEDIAN_H_
+#define RANKTIES_ACCESS_TA_MEDIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// The Threshold Algorithm (TA) of Fagin–Lotem–Naor [12], instantiated for
+/// the median scoring function: sorted access in round robin; every newly
+/// seen element is *randomly accessed* in all other lists, so its exact
+/// (lower-)median position is known immediately; stop when the k-th best
+/// exact score is at most the threshold — the median of the lists' current
+/// frontier positions, a floor on every unseen element's score.
+///
+/// Versus the NRA engine: TA needs random access (cheap for in-memory
+/// bucket orders, a per-row lookup for a real database) but terminates
+/// earlier and returns *exact scores*, not just the exact set.
+struct TaMedianResult {
+  /// Top-k elements by exact lower-median doubled position, best first
+  /// (score ties broken by smaller element id).
+  std::vector<ElementId> top;
+  /// Their quadrupled median scores (aligned with `top`).
+  std::vector<std::int64_t> scores_quad;
+  std::int64_t sorted_accesses = 0;
+  std::int64_t random_accesses = 0;
+};
+
+/// Runs TA over in-memory bucket orders (which provide O(1) random access
+/// via TwicePosition). Fails on empty/mismatched inputs or k > n.
+StatusOr<TaMedianResult> TaMedianTopK(const std::vector<BucketOrder>& inputs,
+                                      std::size_t k);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_ACCESS_TA_MEDIAN_H_

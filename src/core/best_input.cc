@@ -1,0 +1,23 @@
+#include "core/best_input.h"
+
+#include "core/cost.h"
+
+namespace rankties {
+
+StatusOr<BestInputResult> BestInputAggregate(
+    const std::vector<BucketOrder>& inputs, MetricKind kind) {
+  if (inputs.empty()) return Status::InvalidArgument("no input rankings");
+  BestInputResult best;
+  bool first = true;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double cost = TotalDistance(kind, inputs[i], inputs);
+    if (first || cost < best.total_cost) {
+      best.index = i;
+      best.total_cost = cost;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace rankties

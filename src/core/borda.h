@@ -1,0 +1,25 @@
+#ifndef RANKTIES_CORE_BORDA_H_
+#define RANKTIES_CORE_BORDA_H_
+
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Borda / average-rank aggregation: elements ordered by the mean of their
+/// positions across the inputs (ties by ascending element id). The natural
+/// baseline the paper contrasts with median rank — average rank is *not*
+/// instance optimal in the sorted-access model and is sensitive to outliers
+/// (§1). Exact integer arithmetic (sum of doubled positions).
+/// Fails unless the inputs share a non-empty domain.
+StatusOr<Permutation> BordaAggregateFull(const std::vector<BucketOrder>& inputs);
+
+/// The induced partial ranking: elements with equal mean position tied.
+StatusOr<BucketOrder> BordaInducedOrder(const std::vector<BucketOrder>& inputs);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_BORDA_H_

@@ -1,0 +1,82 @@
+#include "core/condorcet.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace rankties {
+
+std::vector<std::vector<std::int32_t>> MajorityMargins(
+    const std::vector<BucketOrder>& inputs) {
+  const std::size_t n = inputs.empty() ? 0 : inputs.front().n();
+  std::vector<std::vector<std::int32_t>> margins(
+      n, std::vector<std::int32_t>(n, 0));
+  for (const BucketOrder& input : inputs) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        if (input.Ahead(static_cast<ElementId>(a),
+                        static_cast<ElementId>(b))) {
+          ++margins[a][b];
+          --margins[b][a];
+        }
+      }
+    }
+  }
+  return margins;
+}
+
+std::optional<ElementId> CondorcetWinner(
+    const std::vector<BucketOrder>& inputs) {
+  if (inputs.empty()) return std::nullopt;
+  const std::size_t n = inputs.front().n();
+  const auto margins = MajorityMargins(inputs);
+  for (std::size_t a = 0; a < n; ++a) {
+    bool wins_all = true;
+    for (std::size_t b = 0; b < n && wins_all; ++b) {
+      if (a != b && margins[a][b] <= 0) wins_all = false;
+    }
+    if (wins_all) return static_cast<ElementId>(a);
+  }
+  return std::nullopt;
+}
+
+std::int64_t MajorityViolations(const Permutation& candidate,
+                                const std::vector<BucketOrder>& inputs) {
+  const auto margins = MajorityMargins(inputs);
+  const std::size_t n = candidate.n();
+  std::int64_t violations = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (margins[a][b] > 0 && candidate.Ahead(static_cast<ElementId>(b),
+                                               static_cast<ElementId>(a))) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+bool MajorityTournamentAcyclic(const std::vector<BucketOrder>& inputs) {
+  if (inputs.empty()) return true;
+  const std::size_t n = inputs.front().n();
+  const auto margins = MajorityMargins(inputs);
+  // DFS cycle detection on the strict-majority digraph.
+  std::vector<int> state(n, 0);  // 0 = new, 1 = on stack, 2 = done
+  std::function<bool(std::size_t)> has_cycle = [&](std::size_t a) {
+    state[a] = 1;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || margins[a][b] <= 0) continue;
+      if (state[b] == 1) return true;
+      if (state[b] == 0 && has_cycle(b)) return true;
+    }
+    state[a] = 2;
+    return false;
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    if (state[a] == 0 && has_cycle(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace rankties

@@ -1,0 +1,42 @@
+#ifndef RANKTIES_CORE_CONDORCET_H_
+#define RANKTIES_CORE_CONDORCET_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+
+namespace rankties {
+
+/// Pairwise-majority machinery for partial-ranking electorates. The MC4
+/// heuristic [8] and local Kemenization both act through this structure;
+/// exposing it lets users inspect *why* an aggregate ordered a pair.
+
+/// majority[a][b] = (#inputs with a strictly ahead of b)
+///                - (#inputs with b strictly ahead of a).
+/// Ties contribute to neither side. O(m n^2).
+std::vector<std::vector<std::int32_t>> MajorityMargins(
+    const std::vector<BucketOrder>& inputs);
+
+/// A Condorcet winner: an element with positive majority margin against
+/// every other element. Does not always exist (Condorcet paradox).
+std::optional<ElementId> CondorcetWinner(
+    const std::vector<BucketOrder>& inputs);
+
+/// Counts the pairs (a, b) with a strictly positive margin for a where
+/// `candidate` nevertheless ranks b strictly ahead of a — the candidate's
+/// pairwise-majority violations. A locally Kemeny-optimal ranking has no
+/// *adjacent* violations; zero total violations means the full majority
+/// tournament is acyclic and the candidate extends it.
+std::int64_t MajorityViolations(const Permutation& candidate,
+                                const std::vector<BucketOrder>& inputs);
+
+/// True if the majority tournament restricted to strict margins is acyclic
+/// (a total "majority order" exists). O(n^2) after the margins.
+bool MajorityTournamentAcyclic(const std::vector<BucketOrder>& inputs);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_CONDORCET_H_

@@ -1,0 +1,56 @@
+#ifndef RANKTIES_CORE_CONSOLIDATION_H_
+#define RANKTIES_CORE_CONSOLIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/median_rank.h"
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Type-constrained consolidation (paper Lemma 27 / Corollary 30): given a
+/// score function f (quadrupled integers) and a target type alpha, builds
+/// a partial ranking in <f>_alpha — consistent with f and of type alpha —
+/// which Lemma 27 proves minimizes L1(., f) among ALL partial rankings of
+/// type alpha (the order-preserving assignment is optimal, Lemma 26).
+///
+/// By Corollary 30, when f is a median of the inputs the result is a
+/// factor-3 approximation among type-alpha partial rankings (factor 2 when
+/// the inputs all have type alpha).
+///
+/// Fails unless alpha's sizes are positive and sum to the domain size.
+struct ConsolidationResult {
+  BucketOrder order;            ///< an element of <f>_alpha
+  std::int64_t cost_quad = 0;   ///< 4 * L1(order, f)
+};
+StatusOr<ConsolidationResult> ConsolidateToType(
+    const std::vector<std::int64_t>& quad_scores,
+    const std::vector<std::size_t>& alpha);
+
+/// Strong-sense near-optimal top-k (paper A.6.3, Theorem 35): computes
+/// f-dagger's type beta, a sigma' in <f>_beta (which is near optimal over
+/// ALL partial rankings, Theorem 10), and the top-k projection sigma in
+/// <sigma'>_alpha — so the returned top-k list represents the k most
+/// highly-ranked objects *of a nearly optimal partial ranking*, a strictly
+/// stronger guarantee than Theorem 9's.
+struct StrongTopKResult {
+  BucketOrder top_k;        ///< the type-(1,...,1,n-k) projection
+  BucketOrder certificate;  ///< the nearly optimal sigma' behind it
+};
+StatusOr<StrongTopKResult> StrongMedianTopK(
+    const std::vector<BucketOrder>& inputs, std::size_t k,
+    MedianPolicy policy = MedianPolicy::kLower);
+
+/// Lemma 34 construction: given a partial ranking sigma consistent with f
+/// and a type beta, produces sigma' in <f>_beta with sigma in <sigma'>_alpha
+/// — concretely, re-bucket f's order by beta while breaking f-ties in
+/// sigma's order. Exposed for tests; StrongMedianTopK uses it internally.
+StatusOr<BucketOrder> ProjectConsistent(
+    const std::vector<std::int64_t>& quad_scores, const BucketOrder& sigma,
+    const std::vector<std::size_t>& beta);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_CONSOLIDATION_H_

@@ -1,0 +1,75 @@
+#include "core/correlation.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rankties {
+
+StatusOr<double> KendallTauB(const BucketOrder& sigma, const BucketOrder& tau) {
+  const PairCounts c = ComputePairCounts(sigma, tau);
+  const double untied = static_cast<double>(c.concordant + c.discordant);
+  const double denom_sigma =
+      untied + static_cast<double>(c.tied_tau_only);  // pairs untied in sigma
+  const double denom_tau =
+      untied + static_cast<double>(c.tied_sigma_only);  // pairs untied in tau
+  if (denom_sigma <= 0 || denom_tau <= 0) {
+    return Status::Undefined("tau-b undefined: an input has no untied pairs");
+  }
+  return static_cast<double>(c.concordant - c.discordant) /
+         std::sqrt(denom_sigma * denom_tau);
+}
+
+StatusOr<double> GoodmanKruskalGamma(const BucketOrder& sigma,
+                                     const BucketOrder& tau) {
+  const PairCounts c = ComputePairCounts(sigma, tau);
+  const std::int64_t untied = c.concordant + c.discordant;
+  if (untied == 0) {
+    return Status::Undefined(
+        "gamma undefined: every pair is tied in at least one ranking");
+  }
+  return static_cast<double>(c.concordant - c.discordant) /
+         static_cast<double>(untied);
+}
+
+StatusOr<SignificanceResult> KendallSignificance(const BucketOrder& sigma,
+                                                 const BucketOrder& tau) {
+  assert(sigma.n() == tau.n());
+  const double n = static_cast<double>(sigma.n());
+  if (sigma.n() < 3) {
+    return Status::Undefined("significance needs n >= 3");
+  }
+  const PairCounts c = ComputePairCounts(sigma, tau);
+  const double s = static_cast<double>(c.concordant - c.discordant);
+  const double variance = n * (n - 1.0) * (2.0 * n + 5.0) / 18.0;
+  SignificanceResult result;
+  result.z = s / std::sqrt(variance);
+  result.p_value = std::erfc(std::abs(result.z) / std::sqrt(2.0));
+  return result;
+}
+
+StatusOr<double> SpearmanRho(const BucketOrder& sigma, const BucketOrder& tau) {
+  assert(sigma.n() == tau.n());
+  const std::size_t n = sigma.n();
+  if (n == 0) return Status::Undefined("rho undefined on empty domain");
+  double mean_s = 0, mean_t = 0;
+  for (std::size_t e = 0; e < n; ++e) {
+    mean_s += sigma.Position(static_cast<ElementId>(e));
+    mean_t += tau.Position(static_cast<ElementId>(e));
+  }
+  mean_s /= static_cast<double>(n);
+  mean_t /= static_cast<double>(n);
+  double cov = 0, var_s = 0, var_t = 0;
+  for (std::size_t e = 0; e < n; ++e) {
+    const double ds = sigma.Position(static_cast<ElementId>(e)) - mean_s;
+    const double dt = tau.Position(static_cast<ElementId>(e)) - mean_t;
+    cov += ds * dt;
+    var_s += ds * ds;
+    var_t += dt * dt;
+  }
+  if (var_s <= 0 || var_t <= 0) {
+    return Status::Undefined("rho undefined: an input has a single bucket");
+  }
+  return cov / std::sqrt(var_s * var_t);
+}
+
+}  // namespace rankties

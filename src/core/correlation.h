@@ -1,0 +1,44 @@
+#ifndef RANKTIES_CORE_CORRELATION_H_
+#define RANKTIES_CORE_CORRELATION_H_
+
+#include "core/pair_counts.h"
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Kendall's tau-b correlation coefficient (Kendall 1945 [16], the classical
+/// tie-corrected variant):
+///   tau_b = (C - D) / sqrt((C + D + S)(C + D + T))
+/// in [-1, 1]. Fails (kUndefined) when either input is a single bucket
+/// (denominator zero).
+StatusOr<double> KendallTauB(const BucketOrder& sigma, const BucketOrder& tau);
+
+/// Goodman & Kruskal's gamma [13]: (C - D) / (C + D). The paper's "related
+/// work" notes its serious disadvantage: it is *not always defined* — when
+/// every pair is tied in at least one ranking, C + D = 0 and gamma has no
+/// value. That case is surfaced as StatusCode::kUndefined.
+StatusOr<double> GoodmanKruskalGamma(const BucketOrder& sigma,
+                                     const BucketOrder& tau);
+
+/// A two-sided significance test for Kendall correlation under the null
+/// hypothesis of independent rankings, using the normal approximation
+///   z = 3 (C - D) / sqrt(n (n-1) (2n+5) / 2).
+/// Ties are handled by using the observed C - D (they shrink |z|, making
+/// the test conservative); exact tie-corrected variances exist but need
+/// the full tie spectra. Fails (kUndefined) for n < 3.
+struct SignificanceResult {
+  double z = 0.0;        ///< standard-normal test statistic
+  double p_value = 1.0;  ///< two-sided
+};
+StatusOr<SignificanceResult> KendallSignificance(const BucketOrder& sigma,
+                                                 const BucketOrder& tau);
+
+/// Spearman rank correlation (Pearson correlation of the position vectors,
+/// using average positions for ties — the standard tie-corrected rho).
+/// Fails (kUndefined) when either ranking has zero variance (single bucket).
+StatusOr<double> SpearmanRho(const BucketOrder& sigma, const BucketOrder& tau);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_CORRELATION_H_

@@ -1,0 +1,214 @@
+#include "core/footrule_matching.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "util/combinatorics.h"
+
+namespace rankties {
+
+StatusOr<AssignmentResult> MinCostAssignment(
+    const std::vector<std::vector<std::int64_t>>& cost) {
+  const std::size_t n = cost.size();
+  if (n == 0) return Status::InvalidArgument("empty cost matrix");
+  for (const auto& row : cost) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("cost matrix must be square");
+    }
+  }
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  // Jonker–Volgenant shortest augmenting path with potentials; 1-based
+  // internal arrays, row 0 / column 0 are sentinels.
+  std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<std::size_t> row_of_col(n + 1, 0);  // p[j]: row matched to col j
+  std::vector<std::size_t> way(n + 1, 0);
+  for (std::size_t r = 1; r <= n; ++r) {
+    row_of_col[0] = r;
+    std::size_t j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = row_of_col[j0];
+      std::int64_t delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[row_of_col[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (row_of_col[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      row_of_col[j0] = row_of_col[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.column_of_row.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.column_of_row[row_of_col[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    result.total_cost += cost[r][result.column_of_row[r]];
+  }
+  return result;
+}
+
+StatusOr<FootruleOptimalTypedResult> FootruleOptimalOfType(
+    const std::vector<BucketOrder>& inputs,
+    const std::vector<std::size_t>& alpha) {
+  if (inputs.empty()) return Status::InvalidArgument("no input rankings");
+  const std::size_t n = inputs.front().n();
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  for (const BucketOrder& input : inputs) {
+    if (input.n() != n) {
+      return Status::InvalidArgument("input domain sizes differ");
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t s : alpha) {
+    if (s == 0) return Status::InvalidArgument("zero bucket size in type");
+    total += s;
+  }
+  if (total != n) {
+    return Status::InvalidArgument("type sizes do not sum to n");
+  }
+
+  // Column c is a slot of bucket slot_bucket[c] with doubled position
+  // slot_twice_pos[c].
+  std::vector<BucketIndex> slot_bucket(n);
+  std::vector<std::int64_t> slot_twice_pos(n);
+  {
+    std::size_t c = 0;
+    std::int64_t before = 0;
+    for (std::size_t b = 0; b < alpha.size(); ++b) {
+      const std::int64_t size = static_cast<std::int64_t>(alpha[b]);
+      const std::int64_t twice_pos = 2 * before + size + 1;
+      for (std::size_t i = 0; i < alpha[b]; ++i, ++c) {
+        slot_bucket[c] = static_cast<BucketIndex>(b);
+        slot_twice_pos[c] = twice_pos;
+      }
+      before += size;
+    }
+  }
+  std::vector<std::vector<std::int64_t>> cost(n,
+                                              std::vector<std::int64_t>(n, 0));
+  for (const BucketOrder& input : inputs) {
+    for (std::size_t e = 0; e < n; ++e) {
+      const std::int64_t twice_pos =
+          input.TwicePosition(static_cast<ElementId>(e));
+      for (std::size_t c = 0; c < n; ++c) {
+        cost[e][c] += std::abs(twice_pos - slot_twice_pos[c]);
+      }
+    }
+  }
+  StatusOr<AssignmentResult> assignment = MinCostAssignment(cost);
+  if (!assignment.ok()) return assignment.status();
+  std::vector<BucketIndex> bucket_of(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    bucket_of[e] = slot_bucket[assignment->column_of_row[e]];
+  }
+  StatusOr<BucketOrder> order = BucketOrder::FromBucketIndex(bucket_of);
+  if (!order.ok()) return order.status();
+  return FootruleOptimalTypedResult{std::move(order).value(),
+                                    assignment->total_cost};
+}
+
+StatusOr<FootruleOptimalTypedResult> FootruleOptimalTopK(
+    const std::vector<BucketOrder>& inputs, std::size_t k) {
+  if (inputs.empty()) return Status::InvalidArgument("no input rankings");
+  const std::size_t n = inputs.front().n();
+  if (k > n) return Status::InvalidArgument("k exceeds domain size");
+  std::vector<std::size_t> alpha;
+  if (k == n) {
+    alpha.assign(n, 1);
+  } else {
+    alpha.assign(k, 1);
+    alpha.push_back(n - k);
+  }
+  return FootruleOptimalOfType(inputs, alpha);
+}
+
+StatusOr<FootruleOptimalTypedResult> FprofOptimalPartial(
+    const std::vector<BucketOrder>& inputs) {
+  if (inputs.empty()) return Status::InvalidArgument("no input rankings");
+  const std::size_t n = inputs.front().n();
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  if (n > 16) {
+    return Status::InvalidArgument(
+        "type enumeration limited to n <= 16 (2^(n-1) assignment solves)");
+  }
+  StatusOr<FootruleOptimalTypedResult> best =
+      Status::Internal("no type evaluated");
+  Status failure = Status::Ok();
+  ForEachComposition(n, [&](const std::vector<std::size_t>& alpha) {
+    StatusOr<FootruleOptimalTypedResult> candidate =
+        FootruleOptimalOfType(inputs, alpha);
+    if (!candidate.ok()) {
+      failure = candidate.status();
+      return false;
+    }
+    if (!best.ok() ||
+        candidate->twice_total_cost < best->twice_total_cost) {
+      best = std::move(candidate);
+    }
+    return true;
+  });
+  if (!failure.ok()) return failure;
+  return best;
+}
+
+StatusOr<FootruleOptimalResult> FootruleOptimalFull(
+    const std::vector<BucketOrder>& inputs) {
+  if (inputs.empty()) return Status::InvalidArgument("no input rankings");
+  const std::size_t n = inputs.front().n();
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  for (const BucketOrder& input : inputs) {
+    if (input.n() != n) {
+      return Status::InvalidArgument("input domain sizes differ");
+    }
+  }
+  // cost[e][r] = sum_i |2 sigma_i(e) - 2(r+1)|.
+  std::vector<std::vector<std::int64_t>> cost(
+      n, std::vector<std::int64_t>(n, 0));
+  for (const BucketOrder& input : inputs) {
+    for (std::size_t e = 0; e < n; ++e) {
+      const std::int64_t twice_pos =
+          input.TwicePosition(static_cast<ElementId>(e));
+      for (std::size_t r = 0; r < n; ++r) {
+        cost[e][r] += std::abs(twice_pos - 2 * static_cast<std::int64_t>(r + 1));
+      }
+    }
+  }
+  StatusOr<AssignmentResult> assignment = MinCostAssignment(cost);
+  if (!assignment.ok()) return assignment.status();
+  std::vector<ElementId> ranks(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    ranks[e] = static_cast<ElementId>(assignment->column_of_row[e]);
+  }
+  StatusOr<Permutation> perm = Permutation::FromRanks(std::move(ranks));
+  if (!perm.ok()) return perm.status();
+  return FootruleOptimalResult{std::move(perm).value(),
+                               assignment->total_cost};
+}
+
+}  // namespace rankties

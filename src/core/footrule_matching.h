@@ -1,0 +1,65 @@
+#ifndef RANKTIES_CORE_FOOTRULE_MATCHING_H_
+#define RANKTIES_CORE_FOOTRULE_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Solves the square min-cost assignment problem with the Hungarian
+/// algorithm (Jonker–Volgenant style, O(n^3)). `cost[r][c]` is the cost of
+/// assigning row r to column c. Returns for each row its assigned column.
+/// Fails if the matrix is empty or not square.
+struct AssignmentResult {
+  std::vector<std::size_t> column_of_row;
+  std::int64_t total_cost = 0;
+};
+StatusOr<AssignmentResult> MinCostAssignment(
+    const std::vector<std::vector<std::int64_t>>& cost);
+
+/// The *exact* optimal full-ranking aggregation under the footrule objective
+/// sum_i F(pi, sigma_i) (paper footnote 4): place element e at 1-based
+/// position r with cost sum_i |2 sigma_i(e) - 2r| and solve the assignment
+/// problem. This is the expensive exact baseline the median-rank algorithm
+/// is compared against (Theorem 11 proves median is within factor 2 of it
+/// for full-ranking inputs). O(n^3 + m n^2).
+struct FootruleOptimalResult {
+  Permutation ranking;
+  std::int64_t twice_total_cost = 0;  ///< 2 * sum_i Fprof(pi, sigma_i)
+};
+StatusOr<FootruleOptimalResult> FootruleOptimalFull(
+    const std::vector<BucketOrder>& inputs);
+
+/// The exact optimal aggregation *of a given type* under sum-of-Fprof: a
+/// type-alpha bucket order has fixed bucket positions, so assigning
+/// elements to position slots (bucket b contributing |b| identical slots)
+/// is again a min-cost assignment. This is the exact yardstick behind
+/// Corollary 30's factor-3 claim. O(n^3 + m n^2).
+struct FootruleOptimalTypedResult {
+  BucketOrder order;
+  std::int64_t twice_total_cost = 0;
+};
+StatusOr<FootruleOptimalTypedResult> FootruleOptimalOfType(
+    const std::vector<BucketOrder>& inputs,
+    const std::vector<std::size_t>& alpha);
+
+/// The exact optimal top-k list under sum-of-Fprof (type 1,...,1,n-k) —
+/// the true optimum Theorem 9's factor 3 is measured against, tractable
+/// far beyond the exhaustive n <= 8 regime.
+StatusOr<FootruleOptimalTypedResult> FootruleOptimalTopK(
+    const std::vector<BucketOrder>& inputs, std::size_t k);
+
+/// The exact optimal *partial ranking* (any type) under sum-of-Fprof, by
+/// solving the assignment problem for every one of the 2^(n-1) types.
+/// Exponential in n; guarded to n <= 16. The strongest possible yardstick
+/// for Theorem 10's factor 2.
+StatusOr<FootruleOptimalTypedResult> FprofOptimalPartial(
+    const std::vector<BucketOrder>& inputs);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_FOOTRULE_MATCHING_H_

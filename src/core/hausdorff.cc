@@ -1,0 +1,99 @@
+#include "core/hausdorff.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/footrule.h"
+#include "core/kendall.h"
+#include "core/pair_counts.h"
+#include "rank/refinement.h"
+
+namespace rankties {
+
+namespace {
+
+/// The two candidate refinement pairs of Theorem 5, with rho = identity.
+struct Theorem5Pairs {
+  Permutation sigma1, tau1;  // (rho*tauR*sigma, rho*sigma*tau)
+  Permutation sigma2, tau2;  // (rho*tau*sigma,  rho*sigmaR*tau)
+};
+
+Theorem5Pairs BuildTheorem5Pairs(const BucketOrder& sigma,
+                                 const BucketOrder& tau) {
+  const Permutation rho(sigma.n());  // arbitrary full ranking: identity
+  const BucketOrder sigma_rev = sigma.Reverse();
+  const BucketOrder tau_rev = tau.Reverse();
+  return Theorem5Pairs{
+      TauRefineFull(rho, TauRefine(tau_rev, sigma)),
+      TauRefineFull(rho, TauRefine(sigma, tau)),
+      TauRefineFull(rho, TauRefine(tau, sigma)),
+      TauRefineFull(rho, TauRefine(sigma_rev, tau)),
+  };
+}
+
+}  // namespace
+
+std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
+  const PairCounts counts = ComputePairCounts(sigma, tau);
+  return counts.discordant +
+         std::max(counts.tied_sigma_only, counts.tied_tau_only);
+}
+
+std::int64_t KHausdorffTheorem5(const BucketOrder& sigma,
+                                const BucketOrder& tau) {
+  const Theorem5Pairs pairs = BuildTheorem5Pairs(sigma, tau);
+  return std::max(KendallTau(pairs.sigma1, pairs.tau1),
+                  KendallTau(pairs.sigma2, pairs.tau2));
+}
+
+std::int64_t TwiceFHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
+  const Theorem5Pairs pairs = BuildTheorem5Pairs(sigma, tau);
+  return 2 * std::max(Footrule(pairs.sigma1, pairs.tau1),
+                      Footrule(pairs.sigma2, pairs.tau2));
+}
+
+double FHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
+  return static_cast<double>(TwiceFHausdorff(sigma, tau)) / 2.0;
+}
+
+namespace {
+
+/// Generic brute-force Hausdorff: max over refinements on one side of the
+/// min distance to refinements of the other, then the max of both
+/// directions. `Dist` maps two Permutations to int64.
+template <typename Dist>
+std::int64_t HausdorffBrute(const BucketOrder& sigma, const BucketOrder& tau,
+                            Dist dist) {
+  auto one_sided = [&](const BucketOrder& a, const BucketOrder& b) {
+    std::int64_t max_min = 0;
+    ForEachFullRefinement(a, [&](const Permutation& pa) {
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      ForEachFullRefinement(b, [&](const Permutation& pb) {
+        best = std::min(best, dist(pa, pb));
+        return true;
+      });
+      max_min = std::max(max_min, best);
+      return true;
+    });
+    return max_min;
+  };
+  return std::max(one_sided(sigma, tau), one_sided(tau, sigma));
+}
+
+}  // namespace
+
+std::int64_t KHausdorffBrute(const BucketOrder& sigma, const BucketOrder& tau) {
+  return HausdorffBrute(sigma, tau, [](const Permutation& a,
+                                       const Permutation& b) {
+    return KendallTauNaive(a, b);
+  });
+}
+
+std::int64_t FHausdorffBrute(const BucketOrder& sigma, const BucketOrder& tau) {
+  return HausdorffBrute(
+      sigma, tau,
+      [](const Permutation& a, const Permutation& b) { return Footrule(a, b); });
+}
+
+}  // namespace rankties

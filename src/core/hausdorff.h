@@ -1,0 +1,39 @@
+#ifndef RANKTIES_CORE_HAUSDORFF_H_
+#define RANKTIES_CORE_HAUSDORFF_H_
+
+#include <cstdint>
+
+#include "rank/bucket_order.h"
+
+namespace rankties {
+
+/// KHaus (paper §3.2): the Hausdorff distance, under Kendall tau, between
+/// the sets of full refinements of sigma and tau. Computed in O(n log n)
+/// through Proposition 6: KHaus = |U| + max(|S|, |T|) where U is the set of
+/// discordant untied pairs and S/T the pairs tied in exactly one input.
+std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau);
+
+/// KHaus via the Theorem 5 characterization: constructs the two candidate
+/// refinement pairs (rho*tauR*sigma, rho*sigma*tau) and
+/// (rho*tau*sigma, rho*sigmaR*tau) with rho the identity full ranking, and
+/// takes the max Kendall distance. Agrees with KHausdorff; kept as an
+/// independently-testable path. O(n log n).
+std::int64_t KHausdorffTheorem5(const BucketOrder& sigma,
+                                const BucketOrder& tau);
+
+/// FHaus (paper §3.2) through Theorem 5. There is no direct count formula
+/// for FHaus in the paper; the construction is the algorithm. Exact doubled
+/// value (full-ranking footrule is integral, so this is just 2*F). O(n log n).
+std::int64_t TwiceFHausdorff(const BucketOrder& sigma, const BucketOrder& tau);
+
+/// FHaus as a double.
+double FHausdorff(const BucketOrder& sigma, const BucketOrder& tau);
+
+/// Brute-force Hausdorff oracles that enumerate every full refinement on
+/// both sides (exponential; small domains only, used to validate Theorem 5).
+std::int64_t KHausdorffBrute(const BucketOrder& sigma, const BucketOrder& tau);
+std::int64_t FHausdorffBrute(const BucketOrder& sigma, const BucketOrder& tau);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_HAUSDORFF_H_

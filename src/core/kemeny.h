@@ -1,0 +1,60 @@
+#ifndef RANKTIES_CORE_KEMENY_H_
+#define RANKTIES_CORE_KEMENY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Exact Kemeny-style aggregation: the full ranking pi minimizing
+/// sum_i K^(p)(pi, sigma_i) over all n! full rankings, computed by the
+/// Held–Karp dynamic program over subsets in O(2^n n^2) time and O(2^n)
+/// space. The pairwise decomposability of K^(p) makes the DP exact.
+///
+/// With p = 1/2 this is the optimal full ranking under the sum-of-Kprof
+/// objective — the generalization of Kemeny-optimal aggregation ([8]) that
+/// the paper's constant-factor algorithms approximate.
+///
+/// Fails when n > 18 (time/memory) or inputs are malformed, or when p is
+/// not a multiple of 1/2 (doubled costs must stay integral).
+struct KemenyResult {
+  Permutation ranking;
+  double total_cost = 0.0;      ///< sum_i K^(p)(pi, sigma_i)
+  std::int64_t twice_cost = 0;  ///< exact doubled cost (p must be k/2)
+};
+StatusOr<KemenyResult> ExactKemeny(const std::vector<BucketOrder>& inputs,
+                                   double p = 0.5);
+
+/// Exact *partial-ranking* Kemeny aggregation: the bucket order (of any
+/// type) minimizing sum_i K^(p)(sigma, sigma_i), computed by a dynamic
+/// program over subsets that appends whole buckets: dp[S] = min over
+/// nonempty B subset of S of dp[S \ B] + cost(B as the last bucket). Under
+/// K^(p), a pair tied in the output costs p per input that strictly orders
+/// it and 0 per input that ties it, so bucket costs decompose. O(3^n)
+/// subset pairs; guarded to n <= 13.
+///
+/// This is the strongest exact yardstick for the paper's Theorem 10
+/// pipeline (median + f-dagger), which approximates exactly this objective
+/// (through the metric equivalences of Theorem 7).
+struct KemenyPartialResult {
+  BucketOrder order;
+  double total_cost = 0.0;
+  std::int64_t twice_cost = 0;
+};
+StatusOr<KemenyPartialResult> ExactKemenyPartial(
+    const std::vector<BucketOrder>& inputs, double p = 0.5);
+
+/// The pairwise preference costs: w[a][b] (doubled) = cost contributed by
+/// the unordered pair {a,b} when the output ranks a ahead of b:
+/// per input, 2 if the input ranks b strictly ahead of a, 2p if it ties
+/// them, 0 otherwise. Exposed for tests and for LocalKemenization.
+std::vector<std::vector<std::int64_t>> PairwisePreferenceCostsTwice(
+    const std::vector<BucketOrder>& inputs, double p);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_KEMENY_H_

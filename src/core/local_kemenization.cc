@@ -1,0 +1,33 @@
+#include "core/local_kemenization.h"
+
+#include "core/kemeny.h"
+
+namespace rankties {
+
+Permutation LocalKemenization(const Permutation& candidate,
+                              const std::vector<BucketOrder>& inputs,
+                              double p) {
+  const std::size_t n = candidate.n();
+  if (n < 2 || inputs.empty()) return candidate;
+  const std::vector<std::vector<std::int64_t>> w =
+      PairwisePreferenceCostsTwice(inputs, p);
+  std::vector<ElementId> order = candidate.order();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+      const std::size_t a = static_cast<std::size_t>(order[r]);
+      const std::size_t b = static_cast<std::size_t>(order[r + 1]);
+      // Current cost of the adjacent pair is w[a][b] (a ahead); swapping
+      // makes it w[b][a]; no other pair's relative order changes.
+      if (w[b][a] < w[a][b]) {
+        std::swap(order[r], order[r + 1]);
+        improved = true;
+      }
+    }
+  }
+  StatusOr<Permutation> result = Permutation::FromOrder(order);
+  return result.ok() ? std::move(result).value() : candidate;
+}
+
+}  // namespace rankties

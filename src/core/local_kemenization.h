@@ -1,0 +1,26 @@
+#ifndef RANKTIES_CORE_LOCAL_KEMENIZATION_H_
+#define RANKTIES_CORE_LOCAL_KEMENIZATION_H_
+
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+
+namespace rankties {
+
+/// Local Kemenization (Dwork et al. [8], generalized to the K^(p)
+/// objective): repeatedly swaps adjacent elements of `candidate` whenever
+/// the swap strictly lowers sum_i K^(p)(pi, sigma_i), until no adjacent swap
+/// helps (a locally Kemeny-optimal ranking). Each pass is O(n^2) pair
+/// lookups; the loop terminates because the integral doubled objective
+/// strictly decreases.
+///
+/// Returns the improved ranking. Typically used to polish Borda / MC4 /
+/// median outputs.
+Permutation LocalKemenization(const Permutation& candidate,
+                              const std::vector<BucketOrder>& inputs,
+                              double p = 0.5);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_LOCAL_KEMENIZATION_H_

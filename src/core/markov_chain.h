@@ -1,0 +1,34 @@
+#ifndef RANKTIES_CORE_MARKOV_CHAIN_H_
+#define RANKTIES_CORE_MARKOV_CHAIN_H_
+
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Options for the MC4 Markov-chain aggregation heuristic of Dwork et al.
+/// [8], extended to partial-ranking inputs: from state a, pick a uniformly
+/// random element b; move to b if a strict majority of the inputs rank b
+/// strictly ahead of a, else stay. Elements are ordered by descending
+/// stationary probability (power iteration with uniform teleport).
+///
+/// This is one of the "more sophisticated heuristics" the paper notes is
+/// *not* database-friendly (it needs the full pairwise majority matrix).
+struct Mc4Options {
+  double teleport = 0.05;   ///< uniform restart probability (ergodicity)
+  int max_iterations = 200;
+  double tolerance = 1e-10; ///< L1 convergence threshold
+};
+
+/// Runs MC4 and returns the aggregated full ranking (ties in stationary
+/// probability broken by ascending element id).
+/// Fails unless inputs share a non-empty domain.
+StatusOr<Permutation> Mc4Aggregate(const std::vector<BucketOrder>& inputs,
+                                   const Mc4Options& options = Mc4Options());
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_MARKOV_CHAIN_H_

@@ -1,0 +1,108 @@
+#include "core/median_rank.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+namespace rankties {
+
+std::int64_t MedianQuad(std::vector<std::int64_t> values, MedianPolicy policy) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  const std::size_t m = values.size();
+  if (m % 2 == 1) return 2 * values[m / 2];
+  const std::int64_t lo = values[m / 2 - 1];
+  const std::int64_t hi = values[m / 2];
+  switch (policy) {
+    case MedianPolicy::kLower:
+      return 2 * lo;
+    case MedianPolicy::kUpper:
+      return 2 * hi;
+    case MedianPolicy::kAverage:
+      return lo + hi;
+  }
+  return 2 * lo;
+}
+
+namespace {
+
+Status ValidateInputs(const std::vector<BucketOrder>& inputs) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("no input rankings");
+  }
+  const std::size_t n = inputs.front().n();
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  for (const BucketOrder& input : inputs) {
+    if (input.n() != n) {
+      return Status::InvalidArgument("input domain sizes differ");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::int64_t>> MedianRankScoresQuad(
+    const std::vector<BucketOrder>& inputs, MedianPolicy policy) {
+  Status s = ValidateInputs(inputs);
+  if (!s.ok()) return s;
+  const std::size_t n = inputs.front().n();
+  std::vector<std::int64_t> scores(n);
+  std::vector<std::int64_t> column(inputs.size());
+  for (std::size_t e = 0; e < n; ++e) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      column[i] = inputs[i].TwicePosition(static_cast<ElementId>(e));
+    }
+    scores[e] = MedianQuad(column, policy);
+  }
+  return scores;
+}
+
+StatusOr<BucketOrder> MedianInducedOrder(const std::vector<BucketOrder>& inputs,
+                                         MedianPolicy policy) {
+  StatusOr<std::vector<std::int64_t>> scores =
+      MedianRankScoresQuad(inputs, policy);
+  if (!scores.ok()) return scores.status();
+  return BucketOrder::FromIntKeys(*scores);
+}
+
+StatusOr<Permutation> MedianAggregateFull(const std::vector<BucketOrder>& inputs,
+                                          MedianPolicy policy) {
+  StatusOr<std::vector<std::int64_t>> scores =
+      MedianRankScoresQuad(inputs, policy);
+  if (!scores.ok()) return scores.status();
+  const std::size_t n = scores->size();
+  std::vector<ElementId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ElementId a, ElementId b) {
+    return (*scores)[static_cast<std::size_t>(a)] <
+           (*scores)[static_cast<std::size_t>(b)];
+  });
+  return Permutation::FromOrder(order);
+}
+
+StatusOr<BucketOrder> MedianAggregateTopK(const std::vector<BucketOrder>& inputs,
+                                          std::size_t k, MedianPolicy policy) {
+  StatusOr<Permutation> full = MedianAggregateFull(inputs, policy);
+  if (!full.ok()) return full.status();
+  if (k > full->n()) {
+    return Status::InvalidArgument("k exceeds domain size");
+  }
+  return BucketOrder::TopKOf(*full, k);
+}
+
+std::int64_t TotalL1ToInputsQuad(const std::vector<std::int64_t>& f_quad,
+                                 const std::vector<BucketOrder>& inputs) {
+  std::int64_t total = 0;
+  for (const BucketOrder& input : inputs) {
+    assert(input.n() == f_quad.size());
+    for (std::size_t e = 0; e < f_quad.size(); ++e) {
+      total += std::abs(f_quad[e] -
+                        2 * input.TwicePosition(static_cast<ElementId>(e)));
+    }
+  }
+  return total;
+}
+
+}  // namespace rankties

@@ -1,0 +1,51 @@
+#include "core/metric_registry.h"
+
+#include "core/footrule.h"
+#include "core/hausdorff.h"
+#include "core/profile_metrics.h"
+
+namespace rankties {
+
+const std::vector<MetricKind>& AllMetricKinds() {
+  static const std::vector<MetricKind> kKinds = {
+      MetricKind::kKprof, MetricKind::kFprof, MetricKind::kKHaus,
+      MetricKind::kFHaus};
+  return kKinds;
+}
+
+const char* MetricName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kKprof:
+      return "Kprof";
+    case MetricKind::kFprof:
+      return "Fprof";
+    case MetricKind::kKHaus:
+      return "KHaus";
+    case MetricKind::kFHaus:
+      return "FHaus";
+  }
+  return "unknown";
+}
+
+double ComputeMetric(MetricKind kind, const BucketOrder& sigma,
+                     const BucketOrder& tau) {
+  switch (kind) {
+    case MetricKind::kKprof:
+      return Kprof(sigma, tau);
+    case MetricKind::kFprof:
+      return Fprof(sigma, tau);
+    case MetricKind::kKHaus:
+      return static_cast<double>(KHausdorff(sigma, tau));
+    case MetricKind::kFHaus:
+      return FHausdorff(sigma, tau);
+  }
+  return 0.0;
+}
+
+MetricFn MetricFunction(MetricKind kind) {
+  return [kind](const BucketOrder& sigma, const BucketOrder& tau) {
+    return ComputeMetric(kind, sigma, tau);
+  };
+}
+
+}  // namespace rankties

@@ -1,0 +1,80 @@
+#include "core/near_metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rankties {
+
+namespace {
+constexpr double kInfinitySentinel = 1e18;
+}  // namespace
+
+TriangleProbe ProbeTriangleInequality(const MetricFn& dist,
+                                      const OrderSampler& sampler,
+                                      std::int64_t trials, Rng& rng) {
+  TriangleProbe probe;
+  probe.trials = trials;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const BucketOrder x = sampler(rng);
+    const BucketOrder y = sampler(rng);
+    const BucketOrder z = sampler(rng);
+    const double direct = dist(x, z);
+    const double via = dist(x, y) + dist(y, z);
+    double ratio;
+    if (via > 0) {
+      ratio = direct / via;
+    } else {
+      ratio = direct > 0 ? kInfinitySentinel : 0.0;
+    }
+    probe.worst_ratio = std::max(probe.worst_ratio, ratio);
+    // Small epsilon guards float round-off in double-valued metrics.
+    if (direct > via * (1.0 + 1e-12) + 1e-12) ++probe.violations;
+  }
+  return probe;
+}
+
+EquivalenceBand EstimateEquivalenceBand(const MetricFn& d1, const MetricFn& d2,
+                                        const OrderSampler& sampler,
+                                        std::int64_t trials, Rng& rng) {
+  EquivalenceBand band;
+  bool first = true;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const BucketOrder x = sampler(rng);
+    const BucketOrder y = sampler(rng);
+    const double a = d1(x, y);
+    const double b = d2(x, y);
+    if (a == 0 && b == 0) continue;
+    if (a == 0 || b == 0) {
+      ++band.zero_mismatches;
+      continue;
+    }
+    const double ratio = a / b;
+    if (first) {
+      band.min_ratio = band.max_ratio = ratio;
+      first = false;
+    } else {
+      band.min_ratio = std::min(band.min_ratio, ratio);
+      band.max_ratio = std::max(band.max_ratio, ratio);
+    }
+    ++band.samples;
+  }
+  return band;
+}
+
+std::int64_t ProbeDistanceMeasureAxioms(const MetricFn& dist,
+                                        const OrderSampler& sampler,
+                                        std::int64_t trials, Rng& rng) {
+  std::int64_t violations = 0;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const BucketOrder x = sampler(rng);
+    const BucketOrder y = sampler(rng);
+    if (dist(x, x) != 0) ++violations;                    // regularity (self)
+    if (dist(x, y) != dist(y, x)) ++violations;           // symmetry
+    if (!(x == y) && dist(x, y) == 0 && dist(y, x) == 0)  // regularity
+      ++violations;
+    if (dist(x, y) < 0) ++violations;  // nonnegativity
+  }
+  return violations;
+}
+
+}  // namespace rankties

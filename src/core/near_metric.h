@@ -1,0 +1,56 @@
+#ifndef RANKTIES_CORE_NEAR_METRIC_H_
+#define RANKTIES_CORE_NEAR_METRIC_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/metric_registry.h"
+#include "rank/bucket_order.h"
+#include "util/rng.h"
+
+namespace rankties {
+
+/// Result of probing a distance measure for metric axioms over sampled
+/// partial rankings (paper §2.1 and Proposition 13).
+struct TriangleProbe {
+  std::int64_t trials = 0;
+  std::int64_t violations = 0;  ///< d(x,z) > d(x,y) + d(y,z) cases
+  double worst_ratio = 0.0;  ///< max d(x,z) / (d(x,y)+d(y,z)) observed; a
+                             ///< value <= 1 everywhere means no violation.
+};
+
+/// A sampler that produces a fresh random partial ranking each call.
+using OrderSampler = std::function<BucketOrder(Rng&)>;
+
+/// Probes the triangle inequality of `dist` on `trials` random triples drawn
+/// from `sampler`. Degenerate triples (both summands zero with positive
+/// direct distance) count as violations with worst_ratio infinity guarded to
+/// a large finite sentinel.
+TriangleProbe ProbeTriangleInequality(const MetricFn& dist,
+                                      const OrderSampler& sampler,
+                                      std::int64_t trials, Rng& rng);
+
+/// Observed equivalence band between two distance measures (paper Def. 2):
+/// the extreme ratios d1/d2 over sampled pairs with d2 > 0. For equivalent
+/// measures the band stays inside [c1, c2] for constants independent of n.
+struct EquivalenceBand {
+  std::int64_t samples = 0;  ///< pairs with both distances positive
+  double min_ratio = 0.0;
+  double max_ratio = 0.0;
+  std::int64_t zero_mismatches = 0;  ///< pairs where exactly one of d1,d2 is 0
+};
+
+/// Estimates the equivalence band of d1 vs d2 over `trials` sampled pairs.
+EquivalenceBand EstimateEquivalenceBand(const MetricFn& d1, const MetricFn& d2,
+                                        const OrderSampler& sampler,
+                                        std::int64_t trials, Rng& rng);
+
+/// Checks symmetry and regularity (d(x,y)=0 iff x==y) on sampled pairs;
+/// returns the number of violations found.
+std::int64_t ProbeDistanceMeasureAxioms(const MetricFn& dist,
+                                        const OrderSampler& sampler,
+                                        std::int64_t trials, Rng& rng);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_NEAR_METRIC_H_

@@ -1,0 +1,29 @@
+#include "core/normalization.h"
+
+namespace rankties {
+
+double MaxMetricValue(MetricKind kind, std::size_t n) {
+  const double nn = static_cast<double>(n);
+  switch (kind) {
+    case MetricKind::kKprof:
+    case MetricKind::kKHaus:
+      return nn * (nn - 1) / 2.0;
+    case MetricKind::kFprof:
+    case MetricKind::kFHaus:
+      return static_cast<double>((n * n) / 2);
+  }
+  return 0.0;
+}
+
+double NormalizedMetric(MetricKind kind, const BucketOrder& sigma,
+                        const BucketOrder& tau) {
+  if (sigma.n() < 2) return 0.0;
+  return ComputeMetric(kind, sigma, tau) / MaxMetricValue(kind, sigma.n());
+}
+
+double MetricSimilarity(MetricKind kind, const BucketOrder& sigma,
+                        const BucketOrder& tau) {
+  return 1.0 - 2.0 * NormalizedMetric(kind, sigma, tau);
+}
+
+}  // namespace rankties

@@ -1,0 +1,31 @@
+#ifndef RANKTIES_CORE_NORMALIZATION_H_
+#define RANKTIES_CORE_NORMALIZATION_H_
+
+#include <cstddef>
+
+#include "core/metric_registry.h"
+#include "rank/bucket_order.h"
+
+namespace rankties {
+
+/// The maximum value each metric attains over pairs of partial rankings on
+/// an n-element domain. For every metric the maximum is achieved by a full
+/// ranking and its reverse:
+///  * Kprof / KHaus: n(n-1)/2 (every pair discordant; no tie pattern can
+///    charge more than 1 per pair);
+///  * Fprof / FHaus: floor(n^2/2) (the footrule maximum; ties only shrink
+///    position spread).
+double MaxMetricValue(MetricKind kind, std::size_t n);
+
+/// ComputeMetric scaled into [0, 1]; 0 on domains of size < 2.
+double NormalizedMetric(MetricKind kind, const BucketOrder& sigma,
+                        const BucketOrder& tau);
+
+/// A similarity coefficient in [-1, 1] analogous to a correlation:
+/// 1 - 2 * normalized distance (1 = identical, -1 = maximally far).
+double MetricSimilarity(MetricKind kind, const BucketOrder& sigma,
+                        const BucketOrder& tau);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_NORMALIZATION_H_

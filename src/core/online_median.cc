@@ -1,0 +1,76 @@
+#include "core/online_median.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rankties {
+
+OnlineMedianAggregator::OnlineMedianAggregator(std::size_t n)
+    : positions_(n) {}
+
+Status OnlineMedianAggregator::AddVoter(const BucketOrder& voter) {
+  if (voter.n() != n()) {
+    return Status::InvalidArgument("voter domain size mismatch");
+  }
+  const std::size_t m = num_voters_;  // count before this voter
+  for (std::size_t e = 0; e < n(); ++e) {
+    ElementState& state = positions_[e];
+    const std::int64_t value =
+        voter.TwicePosition(static_cast<ElementId>(e));
+    if (m == 0) {
+      state.values.insert(value);
+      state.median = state.values.begin();
+      continue;
+    }
+    // Lower-median 1-based index: (m+1)/2 before, (m+2)/2 after.
+    // multiset::insert places equal keys after existing ones, so a tie
+    // with the median lands at or after its position.
+    const bool before_median = value < *state.median;
+    state.values.insert(value);
+    if (m % 2 == 1) {
+      // Index unchanged; an insertion before the median shifts the wanted
+      // slot one element to the left.
+      if (before_median) --state.median;
+    } else {
+      // Index advances by one; unless the insertion landed before the
+      // median (which fills the gap), step right.
+      if (!before_median) ++state.median;
+    }
+  }
+  ++num_voters_;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::int64_t>> OnlineMedianAggregator::ScoresQuad()
+    const {
+  if (num_voters_ == 0) {
+    return Status::FailedPrecondition("no voters added yet");
+  }
+  std::vector<std::int64_t> scores(n());
+  for (std::size_t e = 0; e < n(); ++e) {
+    scores[e] = 2 * *positions_[e].median;
+  }
+  return scores;
+}
+
+StatusOr<Permutation> OnlineMedianAggregator::CurrentFull() const {
+  StatusOr<std::vector<std::int64_t>> scores = ScoresQuad();
+  if (!scores.ok()) return scores.status();
+  std::vector<ElementId> order(n());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ElementId a, ElementId b) {
+    return (*scores)[static_cast<std::size_t>(a)] <
+           (*scores)[static_cast<std::size_t>(b)];
+  });
+  return Permutation::FromOrder(order);
+}
+
+StatusOr<BucketOrder> OnlineMedianAggregator::CurrentTopK(
+    std::size_t k) const {
+  StatusOr<Permutation> full = CurrentFull();
+  if (!full.ok()) return full.status();
+  if (k > n()) return Status::InvalidArgument("k exceeds domain size");
+  return BucketOrder::TopKOf(*full, k);
+}
+
+}  // namespace rankties

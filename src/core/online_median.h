@@ -1,0 +1,58 @@
+#ifndef RANKTIES_CORE_ONLINE_MEDIAN_H_
+#define RANKTIES_CORE_ONLINE_MEDIAN_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Incremental median-rank aggregation: voters arrive one at a time (a
+/// meta-search engine answering as upstream engines respond; a poll
+/// updating as ballots arrive) and the aggregate is queryable at any
+/// point. Per element, the doubled positions seen so far are kept in an
+/// order-statistics-friendly multiset, so
+///   AddVoter      is O(n log m),
+///   CurrentTopK   is O(n log n),
+/// and both agree exactly with the batch MedianRankScoresQuad (kLower)
+/// over the voters added so far (tested).
+class OnlineMedianAggregator {
+ public:
+  /// Fixes the domain size up front.
+  explicit OnlineMedianAggregator(std::size_t n);
+
+  std::size_t n() const { return positions_.size(); }
+  std::size_t num_voters() const { return num_voters_; }
+
+  /// Adds one voter. Fails on domain-size mismatch.
+  Status AddVoter(const BucketOrder& voter);
+
+  /// Quadrupled lower-median scores over the voters so far.
+  /// Fails before the first voter.
+  StatusOr<std::vector<std::int64_t>> ScoresQuad() const;
+
+  /// Current best-first full ranking (median scores, ties by id).
+  StatusOr<Permutation> CurrentFull() const;
+
+  /// Current top-k list.
+  StatusOr<BucketOrder> CurrentTopK(std::size_t k) const;
+
+ private:
+  // Per element: multiset of doubled positions. The lower median is the
+  // ((m+1)/2)-th smallest; tracked with an iterator that moves at most one
+  // step per insertion.
+  struct ElementState {
+    std::multiset<std::int64_t> values;
+    std::multiset<std::int64_t>::iterator median;  // valid once non-empty
+  };
+  std::vector<ElementState> positions_;
+  std::size_t num_voters_ = 0;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_ONLINE_MEDIAN_H_

@@ -1,0 +1,296 @@
+#include "core/optimal_bucketing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+#include "util/combinatorics.h"
+
+namespace rankties {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+// Sorted view of the scores: ids[r] = element at sorted position r (0-based),
+// f[r+1] = its quad score (f is 1-based to match the paper's indexing).
+struct SortedScores {
+  std::vector<ElementId> ids;
+  std::vector<std::int64_t> f;  // f[1..n], ascending
+};
+
+SortedScores SortScores(const std::vector<std::int64_t>& quad_scores) {
+  SortedScores s;
+  const std::size_t n = quad_scores.size();
+  s.ids.resize(n);
+  std::iota(s.ids.begin(), s.ids.end(), 0);
+  std::stable_sort(s.ids.begin(), s.ids.end(), [&](ElementId a, ElementId b) {
+    return quad_scores[static_cast<std::size_t>(a)] <
+           quad_scores[static_cast<std::size_t>(b)];
+  });
+  s.f.resize(n + 1);
+  s.f[0] = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t r = 0; r < n; ++r) {
+    s.f[r + 1] = quad_scores[static_cast<std::size_t>(s.ids[r])];
+  }
+  return s;
+}
+
+// Builds the BucketOrder from DP backpointers: boundaries[j] = the i such
+// that the final bucket covering sorted positions (i, j] is optimal.
+BucketingResult BuildResult(const SortedScores& sorted,
+                            const std::vector<std::size_t>& best_i,
+                            std::int64_t cost_quad) {
+  const std::size_t n = sorted.ids.size();
+  std::vector<std::size_t> cuts;  // descending interval ends
+  std::size_t j = n;
+  while (j > 0) {
+    cuts.push_back(j);
+    j = best_i[j];
+  }
+  std::vector<BucketIndex> bucket_of(n);
+  BucketIndex b = 0;
+  std::size_t start = 0;
+  for (auto it = cuts.rbegin(); it != cuts.rend(); ++it) {
+    for (std::size_t r = start; r < *it; ++r) {
+      bucket_of[static_cast<std::size_t>(sorted.ids[r])] = b;
+    }
+    start = *it;
+    ++b;
+  }
+  StatusOr<BucketOrder> order = BucketOrder::FromBucketIndex(bucket_of);
+  assert(order.ok());
+  return BucketingResult{std::move(order).value(), cost_quad};
+}
+
+// c(i,j) = sum_{l=i+1..j} |f[l] - 2(i+j+1)|, evaluated with prefix sums and
+// a binary search for the midpoint split. O(log n).
+struct PrefixCost {
+  explicit PrefixCost(const std::vector<std::int64_t>& f) : f_(f) {
+    prefix_.resize(f.size());
+    prefix_[0] = 0;
+    for (std::size_t l = 1; l < f.size(); ++l) {
+      prefix_[l] = prefix_[l - 1] + f_[l];
+    }
+  }
+
+  std::int64_t Cost(std::size_t i, std::size_t j) const {
+    const std::int64_t m = 2 * static_cast<std::int64_t>(i + j + 1);
+    // First index in (i, j] with f >= m.
+    const auto begin = f_.begin() + static_cast<std::ptrdiff_t>(i + 1);
+    const auto end = f_.begin() + static_cast<std::ptrdiff_t>(j + 1);
+    const std::size_t split = static_cast<std::size_t>(
+        std::lower_bound(begin, end, m) - f_.begin());
+    const std::int64_t low_count = static_cast<std::int64_t>(split - i - 1);
+    const std::int64_t high_count = static_cast<std::int64_t>(j - split + 1);
+    const std::int64_t low_sum = prefix_[split - 1] - prefix_[i];
+    const std::int64_t high_sum = prefix_[j] - prefix_[split - 1];
+    return (low_count * m - low_sum) + (high_sum - high_count * m);
+  }
+
+ private:
+  const std::vector<std::int64_t>& f_;
+  std::vector<std::int64_t> prefix_;
+};
+
+BucketingResult SolvePrefixSum(const SortedScores& sorted) {
+  const std::size_t n = sorted.ids.size();
+  PrefixCost cost(sorted.f);
+  std::vector<std::int64_t> dp(n + 1, kInf);
+  std::vector<std::size_t> best_i(n + 1, 0);
+  dp[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const std::int64_t candidate = dp[i] + cost.Cost(i, j);
+      if (candidate < dp[j]) {
+        dp[j] = candidate;
+        best_i[j] = i;
+      }
+    }
+  }
+  return BuildResult(sorted, best_i, dp[n]);
+}
+
+BucketingResult SolveQuadraticSpace(const SortedScores& sorted) {
+  const std::size_t n = sorted.ids.size();
+  // c[i * (n+1) + j] for 0 <= i < j <= n, filled along anti-diagonals
+  // s = i + j; every interval on a diagonal shares the midpoint 2(s+1).
+  std::vector<std::int64_t> c((n + 1) * (n + 1), 0);
+  auto at = [&](std::size_t i, std::size_t j) -> std::int64_t& {
+    return c[i * (n + 1) + j];
+  };
+  for (std::size_t s = 0; s <= 2 * n - 1; ++s) {
+    const std::int64_t m = 2 * static_cast<std::int64_t>(s + 1);
+    std::size_t i, j;
+    std::int64_t value;
+    if (s % 2 == 0) {
+      i = s / 2;
+      j = s / 2;
+      value = 0;  // empty interval; expanded before first store
+    } else {
+      i = (s - 1) / 2;
+      j = (s + 1) / 2;
+      if (j > n) continue;
+      value = std::abs(sorted.f[j] - m);
+      at(i, j) = value;
+    }
+    while (i > 0 && j < n) {
+      value += std::abs(sorted.f[i] - m) + std::abs(sorted.f[j + 1] - m);
+      --i;
+      ++j;
+      at(i, j) = value;
+    }
+  }
+  std::vector<std::int64_t> dp(n + 1, kInf);
+  std::vector<std::size_t> best_i(n + 1, 0);
+  dp[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const std::int64_t candidate = dp[i] + at(i, j);
+      if (candidate < dp[j]) {
+        dp[j] = candidate;
+        best_i[j] = i;
+      }
+    }
+  }
+  return BuildResult(sorted, best_i, dp[n]);
+}
+
+// Figure 1 of the paper: incremental cost via the Lemma 37 recurrence with a
+// monotone cursor k. Requires every f[l] even (2f integral).
+BucketingResult SolveLinearSpace(const SortedScores& sorted) {
+  const std::size_t n = sorted.ids.size();
+  std::vector<std::int64_t> dp(n + 1, kInf);
+  std::vector<std::size_t> best_i(n + 1, 0);
+  dp[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    // c(0, j) computed directly.
+    std::int64_t cost = 0;
+    {
+      const std::int64_t m = 2 * static_cast<std::int64_t>(j + 1);
+      for (std::size_t l = 1; l <= j; ++l) {
+        cost += std::abs(sorted.f[l] - m);
+      }
+    }
+    dp[j] = dp[0] + cost;
+    best_i[j] = 0;
+    std::size_t k = 1;  // first index with f[k] >= 2(i+j+1); monotone in i
+    for (std::size_t i = 1; i < j; ++i) {
+      const std::int64_t m_prev = 2 * static_cast<std::int64_t>(i + j);
+      const std::int64_t m_new = m_prev + 2;
+      while (k <= j && sorted.f[k] < m_new) ++k;
+      // Lemma 37 (re-derived for quad units): moving from c(i-1,j) to
+      // c(i,j) drops element i and shifts the midpoint up by 1/2; elements
+      // below the new midpoint gain 2, the rest lose 2.
+      const std::int64_t low =
+          std::max<std::int64_t>(0, static_cast<std::int64_t>(k) - 1 -
+                                        static_cast<std::int64_t>(i));
+      cost = cost - std::abs(sorted.f[i] - m_prev) +
+             2 * (2 * low - static_cast<std::int64_t>(j - i));
+      const std::int64_t candidate = dp[i] + cost;
+      if (candidate < dp[j]) {
+        dp[j] = candidate;
+        best_i[j] = i;
+      }
+    }
+  }
+  return BuildResult(sorted, best_i, dp[n]);
+}
+
+bool AllEven(const std::vector<std::int64_t>& values) {
+  for (std::int64_t v : values) {
+    if (v % 2 != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<BucketingResult> OptimalBucketing(
+    const std::vector<std::int64_t>& quad_scores,
+    BucketingAlgorithm algorithm) {
+  if (quad_scores.empty()) {
+    return Status::InvalidArgument("no scores");
+  }
+  const SortedScores sorted = SortScores(quad_scores);
+  switch (algorithm) {
+    case BucketingAlgorithm::kPrefixSum:
+      return SolvePrefixSum(sorted);
+    case BucketingAlgorithm::kQuadraticSpace:
+      return SolveQuadraticSpace(sorted);
+    case BucketingAlgorithm::kLinearSpace:
+      if (!AllEven(sorted.f)) {
+        return Status::FailedPrecondition(
+            "linear-space DP requires 2f integral (even quad scores); "
+            "use kQuadraticSpace or kPrefixSum");
+      }
+      return SolveLinearSpace(sorted);
+    case BucketingAlgorithm::kAuto:
+      return AllEven(sorted.f) ? SolveLinearSpace(sorted)
+                               : SolveQuadraticSpace(sorted);
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+StatusOr<std::int64_t> BucketingCostQuad(
+    const std::vector<std::int64_t>& quad_scores,
+    const std::vector<std::size_t>& sizes) {
+  std::size_t total = 0;
+  for (std::size_t s : sizes) {
+    if (s == 0) return Status::InvalidArgument("zero bucket size");
+    total += s;
+  }
+  if (total != quad_scores.size()) {
+    return Status::InvalidArgument("sizes do not sum to n");
+  }
+  const SortedScores sorted = SortScores(quad_scores);
+  std::int64_t cost = 0;
+  std::size_t i = 0;
+  for (std::size_t s : sizes) {
+    const std::size_t j = i + s;
+    const std::int64_t m = 2 * static_cast<std::int64_t>(i + j + 1);
+    for (std::size_t l = i + 1; l <= j; ++l) {
+      cost += std::abs(sorted.f[l] - m);
+    }
+    i = j;
+  }
+  return cost;
+}
+
+StatusOr<BucketingResult> OptimalBucketingBrute(
+    const std::vector<std::int64_t>& quad_scores) {
+  const std::size_t n = quad_scores.size();
+  if (n == 0) return Status::InvalidArgument("no scores");
+  if (n > 20) {
+    return Status::InvalidArgument("brute force limited to n <= 20");
+  }
+  const SortedScores sorted = SortScores(quad_scores);
+  std::int64_t best_cost = kInf;
+  std::vector<std::size_t> best_sizes;
+  ForEachComposition(n, [&](const std::vector<std::size_t>& sizes) {
+    StatusOr<std::int64_t> cost = BucketingCostQuad(quad_scores, sizes);
+    assert(cost.ok());
+    if (*cost < best_cost) {
+      best_cost = *cost;
+      best_sizes = sizes;
+    }
+    return true;
+  });
+  // Rebuild the bucket order for the best composition.
+  std::vector<BucketIndex> bucket_of(n);
+  std::size_t r = 0;
+  BucketIndex b = 0;
+  for (std::size_t s : best_sizes) {
+    for (std::size_t l = 0; l < s; ++l, ++r) {
+      bucket_of[static_cast<std::size_t>(sorted.ids[r])] = b;
+    }
+    ++b;
+  }
+  StatusOr<BucketOrder> order = BucketOrder::FromBucketIndex(bucket_of);
+  assert(order.ok());
+  return BucketingResult{std::move(order).value(), best_cost};
+}
+
+}  // namespace rankties

@@ -1,0 +1,105 @@
+#include "core/profile_metrics.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "core/kendall.h"
+#include "rank/refinement.h"
+
+namespace rankties {
+
+double KendallPFromCounts(const PairCounts& counts, double p) {
+  return static_cast<double>(counts.discordant) +
+         p * static_cast<double>(counts.tied_sigma_only +
+                                 counts.tied_tau_only);
+}
+
+double KendallP(const BucketOrder& sigma, const BucketOrder& tau, double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  return KendallPFromCounts(ComputePairCounts(sigma, tau), p);
+}
+
+std::int64_t TwiceKprof(const BucketOrder& sigma, const BucketOrder& tau) {
+  const PairCounts counts = ComputePairCounts(sigma, tau);
+  return 2 * counts.discordant + counts.tied_sigma_only +
+         counts.tied_tau_only;
+}
+
+double Kprof(const BucketOrder& sigma, const BucketOrder& tau) {
+  return static_cast<double>(TwiceKprof(sigma, tau)) / 2.0;
+}
+
+std::vector<std::int8_t> KProfileQuarters(const BucketOrder& sigma) {
+  const std::size_t n = sigma.n();
+  std::vector<std::int8_t> profile;
+  profile.reserve(n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const ElementId a = static_cast<ElementId>(i);
+      const ElementId b = static_cast<ElementId>(j);
+      std::int8_t entry = 0;
+      if (sigma.Ahead(a, b)) entry = 1;
+      if (sigma.Ahead(b, a)) entry = -1;
+      profile.push_back(entry);
+    }
+  }
+  return profile;
+}
+
+std::int64_t TwiceKprofFromProfiles(const std::vector<std::int8_t>& a,
+                                    const std::vector<std::int8_t>& b) {
+  assert(a.size() == b.size());
+  // Profile entries are quarters (+-1/4 stored as +-1); the L1 distance in
+  // quarter units, halved, equals 2*Kprof.
+  std::int64_t quarters = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    quarters += std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i]));
+  }
+  assert(quarters % 2 == 0);
+  return quarters / 2;
+}
+
+std::vector<std::int64_t> FProfileTwice(const BucketOrder& sigma) {
+  std::vector<std::int64_t> profile(sigma.n());
+  for (std::size_t e = 0; e < sigma.n(); ++e) {
+    profile[e] = sigma.TwicePosition(static_cast<ElementId>(e));
+  }
+  return profile;
+}
+
+double Kavg(const BucketOrder& sigma, const BucketOrder& tau) {
+  const PairCounts c = ComputePairCounts(sigma, tau);
+  return static_cast<double>(c.discordant) +
+         static_cast<double>(c.tied_sigma_only + c.tied_tau_only +
+                             c.tied_both) /
+             2.0;
+}
+
+double KavgSampled(const BucketOrder& sigma, const BucketOrder& tau,
+                   int samples, Rng& rng) {
+  assert(samples > 0);
+  std::int64_t total = 0;
+  for (int s = 0; s < samples; ++s) {
+    total += KendallTau(RandomFullRefinement(sigma, rng),
+                        RandomFullRefinement(tau, rng));
+  }
+  return static_cast<double>(total) / static_cast<double>(samples);
+}
+
+double KavgBrute(const BucketOrder& sigma, const BucketOrder& tau) {
+  std::int64_t total = 0;
+  std::int64_t pairs = 0;
+  ForEachFullRefinement(sigma, [&](const Permutation& s) {
+    ForEachFullRefinement(tau, [&](const Permutation& t) {
+      total += KendallTau(s, t);
+      ++pairs;
+      return true;
+    });
+    return true;
+  });
+  assert(pairs > 0);
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+}  // namespace rankties

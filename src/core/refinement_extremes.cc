@@ -1,0 +1,48 @@
+#include "core/refinement_extremes.h"
+
+#include "core/footrule.h"
+#include "core/kendall.h"
+#include "rank/refinement.h"
+
+namespace rankties {
+
+Permutation NearestFullRefinement(const Permutation& sigma,
+                                  const BucketOrder& tau) {
+  return TauRefineFull(sigma, tau);
+}
+
+std::int64_t MinFootruleToRefinements(const Permutation& sigma,
+                                      const BucketOrder& tau) {
+  return Footrule(sigma, NearestFullRefinement(sigma, tau));
+}
+
+std::int64_t MinKendallToRefinements(const Permutation& sigma,
+                                     const BucketOrder& tau) {
+  return KendallTau(sigma, NearestFullRefinement(sigma, tau));
+}
+
+RefinementWitness OneSidedHausdorffWitness(const BucketOrder& sigma,
+                                           const BucketOrder& tau) {
+  // Lemma 4: the maximizing refinement of sigma is rho * tauR * sigma for
+  // any full rho (identity here); Lemma 3: its closest tau-refinement is
+  // then (rho * tauR * sigma) * tau = rho * sigma * tau (as in Theorem 5).
+  const Permutation rho(sigma.n());
+  const Permutation farthest =
+      TauRefineFull(rho, TauRefine(tau.Reverse(), sigma));
+  const Permutation nearest = NearestFullRefinement(farthest, tau);
+  return RefinementWitness{farthest, nearest};
+}
+
+std::int64_t OneSidedFHausdorff(const BucketOrder& sigma,
+                                const BucketOrder& tau) {
+  const RefinementWitness witness = OneSidedHausdorffWitness(sigma, tau);
+  return Footrule(witness.farthest_sigma, witness.nearest_tau);
+}
+
+std::int64_t OneSidedKHausdorff(const BucketOrder& sigma,
+                                const BucketOrder& tau) {
+  const RefinementWitness witness = OneSidedHausdorffWitness(sigma, tau);
+  return KendallTau(witness.farthest_sigma, witness.nearest_tau);
+}
+
+}  // namespace rankties

@@ -1,0 +1,53 @@
+#ifndef RANKTIES_CORE_REFINEMENT_EXTREMES_H_
+#define RANKTIES_CORE_REFINEMENT_EXTREMES_H_
+
+#include <cstdint>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+
+namespace rankties {
+
+/// The refinement-extreme constructions behind Theorem 5, exposed as their
+/// own API (they are useful beyond the Hausdorff metrics — e.g. "what is
+/// the most/least favorable way to break the ties of tau relative to a
+/// known full ranking sigma?").
+
+/// Lemma 3: among all full refinements of `tau`, the one closest to the
+/// full ranking `sigma` under BOTH footrule and Kendall simultaneously is
+/// sigma * tau (break tau's ties in sigma's order). O(n log n).
+Permutation NearestFullRefinement(const Permutation& sigma,
+                                  const BucketOrder& tau);
+
+/// min over full refinements t of tau of F(sigma, t). O(n log n).
+std::int64_t MinFootruleToRefinements(const Permutation& sigma,
+                                      const BucketOrder& tau);
+
+/// min over full refinements t of tau of K(sigma, t). O(n log n).
+std::int64_t MinKendallToRefinements(const Permutation& sigma,
+                                     const BucketOrder& tau);
+
+/// Lemma 4 + Lemma 3 composed (the inner construction of Theorem 5): the
+/// refinement of `sigma` maximizing its distance to the closest refinement
+/// of `tau` — i.e. the witness of the one-sided Hausdorff distance
+/// max_{s} min_{t} d(s, t). Returns the witness pair (s, t); both the
+/// footrule and the Kendall maxima are attained on the same pair.
+struct RefinementWitness {
+  Permutation farthest_sigma;  ///< rho * tauR * sigma
+  Permutation nearest_tau;     ///< its closest refinement of tau
+};
+RefinementWitness OneSidedHausdorffWitness(const BucketOrder& sigma,
+                                           const BucketOrder& tau);
+
+/// max over refinements s of sigma of (min over refinements t of tau of
+/// F(s,t)) — the one-sided Hausdorff value under footrule. O(n log n).
+std::int64_t OneSidedFHausdorff(const BucketOrder& sigma,
+                                const BucketOrder& tau);
+
+/// Same under Kendall. O(n log n).
+std::int64_t OneSidedKHausdorff(const BucketOrder& sigma,
+                                const BucketOrder& tau);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_REFINEMENT_EXTREMES_H_

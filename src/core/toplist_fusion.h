@@ -1,0 +1,31 @@
+#ifndef RANKTIES_CORE_TOPLIST_FUSION_H_
+#define RANKTIES_CORE_TOPLIST_FUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/median_rank.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// End-to-end meta-search fusion: engines return top lists of item ids
+/// drawn from an unbounded universe (different engines, different items);
+/// the lists are aligned onto their active domain (paper A.3), aggregated
+/// by median rank (§6), and mapped back to item ids.
+struct TopListFusionResult {
+  /// Fused ranking of items, best first, original ids.
+  std::vector<std::int64_t> items;
+  /// Quadrupled median scores aligned with `items`.
+  std::vector<std::int64_t> scores_quad;
+};
+
+/// Fuses the lists; `k` truncates the output (0 = everything). Fails when
+/// all lists are empty or a list contains duplicates.
+StatusOr<TopListFusionResult> FuseTopLists(
+    const std::vector<std::vector<std::int64_t>>& tops, std::size_t k = 0,
+    MedianPolicy policy = MedianPolicy::kLower);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_TOPLIST_FUSION_H_

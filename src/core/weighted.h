@@ -1,0 +1,48 @@
+#ifndef RANKTIES_CORE_WEIGHTED_H_
+#define RANKTIES_CORE_WEIGHTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Weighted aggregation: voter i carries a positive integer weight w_i
+/// (e.g. source reliability, or multiplicity of identical criteria). All
+/// of Section 6 goes through verbatim — Lemma 8 holds for the *weighted*
+/// median (the point minimizing the weighted L1), so the approximation
+/// factors of Theorems 9-11 hold for the weighted objective
+///     sum_i w_i * L1(sigma, sigma_i).
+/// Integer weights keep every quantity exact; scale rational weights to a
+/// common denominator first.
+
+/// The weighted-median scores in quadrupled units: for each element, the
+/// weighted median of its doubled positions (lower weighted median — the
+/// smallest value whose cumulative weight reaches half the total; the
+/// kLower analogue). Fails on empty inputs, mismatched sizes/lengths, or
+/// non-positive weights.
+StatusOr<std::vector<std::int64_t>> WeightedMedianScoresQuad(
+    const std::vector<BucketOrder>& inputs,
+    const std::vector<std::int64_t>& weights);
+
+/// Weighted median aggregation to a full ranking (ties by element id).
+StatusOr<Permutation> WeightedMedianAggregateFull(
+    const std::vector<BucketOrder>& inputs,
+    const std::vector<std::int64_t>& weights);
+
+/// Weighted median aggregation to a top-k list.
+StatusOr<BucketOrder> WeightedMedianAggregateTopK(
+    const std::vector<BucketOrder>& inputs,
+    const std::vector<std::int64_t>& weights, std::size_t k);
+
+/// The weighted objective: sum_i w_i * 2*Fprof(candidate, sigma_i).
+StatusOr<std::int64_t> WeightedTwiceTotalFprof(
+    const BucketOrder& candidate, const std::vector<BucketOrder>& inputs,
+    const std::vector<std::int64_t>& weights);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_WEIGHTED_H_

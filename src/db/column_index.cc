@@ -1,0 +1,153 @@
+#include "db/column_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rankties {
+
+namespace {
+
+/// A SortedAccessSource over a precomputed schedule.
+class ScheduleSource : public SortedAccessSource {
+ public:
+  explicit ScheduleSource(std::vector<SortedAccess> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  std::size_t n() const override { return schedule_.size(); }
+  std::optional<SortedAccess> Next() override {
+    if (cursor_ >= schedule_.size()) return std::nullopt;
+    ++accesses_;
+    return schedule_[cursor_++];
+  }
+  std::int64_t accesses() const override { return accesses_; }
+  void Reset() override {
+    cursor_ = 0;
+    accesses_ = 0;
+  }
+
+ private:
+  std::vector<SortedAccess> schedule_;
+  std::size_t cursor_ = 0;
+  std::int64_t accesses_ = 0;
+};
+
+// Groups an ordered (rows, keys) walk into tie buckets sharing doubled
+// positions. Within a tie bucket rows are emitted in ascending id — the
+// same deterministic order as BucketOrderSource, so indexed and
+// materialized access paths are byte-for-byte interchangeable.
+std::vector<SortedAccess> GroupSchedule(std::vector<ElementId> rows,
+                                        const std::vector<double>& keys) {
+  const std::size_t n = rows.size();
+  std::vector<SortedAccess> schedule(n);
+  std::size_t i = 0;
+  std::int64_t before = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && keys[j] == keys[i]) ++j;
+    std::sort(rows.begin() + static_cast<std::ptrdiff_t>(i),
+              rows.begin() + static_cast<std::ptrdiff_t>(j));
+    const std::int64_t size = static_cast<std::int64_t>(j - i);
+    const std::int64_t twice_pos = 2 * before + size + 1;
+    for (std::size_t l = i; l < j; ++l) {
+      schedule[l] = SortedAccess{rows[l], twice_pos};
+    }
+    before += size;
+    i = j;
+  }
+  return schedule;
+}
+
+double Band(double value, double granularity) {
+  if (granularity <= 0) return value;
+  const double band = std::floor(value / granularity);
+  return std::isfinite(band) ? band : std::numeric_limits<double>::max();
+}
+
+}  // namespace
+
+StatusOr<ColumnIndex> ColumnIndex::Build(const Table& table,
+                                         const std::string& column) {
+  StatusOr<std::vector<double>> values = table.NumericColumn(column);
+  if (!values.ok()) return values.status();
+  ColumnIndex index;
+  index.by_row_ = *values;
+  const std::size_t n = values->size();
+  index.rows_.resize(n);
+  std::iota(index.rows_.begin(), index.rows_.end(), 0);
+  std::stable_sort(index.rows_.begin(), index.rows_.end(),
+                   [&](ElementId a, ElementId b) {
+                     return (*values)[static_cast<std::size_t>(a)] <
+                            (*values)[static_cast<std::size_t>(b)];
+                   });
+  index.values_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    index.values_[i] = (*values)[static_cast<std::size_t>(index.rows_[i])];
+  }
+  return index;
+}
+
+std::unique_ptr<SortedAccessSource> ColumnIndex::Ascending(
+    double granularity) const {
+  std::vector<double> keys(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    keys[i] = Band(values_[i], granularity);
+  }
+  return std::make_unique<ScheduleSource>(GroupSchedule(rows_, keys));
+}
+
+std::unique_ptr<SortedAccessSource> ColumnIndex::Descending(
+    double granularity) const {
+  std::vector<ElementId> rows(rows_.rbegin(), rows_.rend());
+  std::vector<double> keys(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    keys[i] = Band(-values_[values_.size() - 1 - i], granularity);
+  }
+  return std::make_unique<ScheduleSource>(GroupSchedule(rows, keys));
+}
+
+std::unique_ptr<SortedAccessSource> ColumnIndex::Nearest(
+    double target, double granularity) const {
+  // Two cursors walk outward from the insertion point of `target` in the
+  // presorted index — no per-query sort, the [11] implementation.
+  const std::size_t n = values_.size();
+  std::ptrdiff_t right =
+      std::lower_bound(values_.begin(), values_.end(), target) -
+      values_.begin();
+  std::ptrdiff_t left = right - 1;
+  std::vector<ElementId> rows;
+  std::vector<double> keys;
+  rows.reserve(n);
+  keys.reserve(n);
+  while (left >= 0 || right < static_cast<std::ptrdiff_t>(n)) {
+    const double dl = left >= 0
+                          ? target - values_[static_cast<std::size_t>(left)]
+                          : std::numeric_limits<double>::infinity();
+    const double dr = right < static_cast<std::ptrdiff_t>(n)
+                          ? values_[static_cast<std::size_t>(right)] - target
+                          : std::numeric_limits<double>::infinity();
+    if (dl <= dr) {
+      rows.push_back(rows_[static_cast<std::size_t>(left)]);
+      keys.push_back(Band(dl, granularity));
+      --left;
+    } else {
+      rows.push_back(rows_[static_cast<std::size_t>(right)]);
+      keys.push_back(Band(dr, granularity));
+      ++right;
+    }
+  }
+  return std::make_unique<ScheduleSource>(GroupSchedule(rows, keys));
+}
+
+std::vector<ElementId> ColumnIndex::RangeLookup(double lo, double hi) const {
+  std::vector<ElementId> result;
+  auto begin = std::lower_bound(values_.begin(), values_.end(), lo);
+  auto end = std::upper_bound(values_.begin(), values_.end(), hi);
+  for (auto it = begin; it != end; ++it) {
+    result.push_back(rows_[static_cast<std::size_t>(it - values_.begin())]);
+  }
+  return result;
+}
+
+}  // namespace rankties

@@ -1,0 +1,84 @@
+#include "db/indexed_catalog.h"
+
+#include <utility>
+
+#include "access/medrank_engine.h"
+
+namespace rankties {
+
+StatusOr<IndexedCatalog> IndexedCatalog::Build(const Table& table) {
+  IndexedCatalog catalog;
+  catalog.table_ = &table;
+  for (const Column& column : table.schema().columns()) {
+    if (column.type != ColumnType::kNumeric) continue;
+    StatusOr<ColumnIndex> index = ColumnIndex::Build(table, column.name);
+    if (!index.ok()) return index.status();
+    catalog.indexes_.emplace(column.name, std::move(index).value());
+  }
+  return catalog;
+}
+
+StatusOr<const ColumnIndex*> IndexedCatalog::IndexOf(
+    const std::string& column) const {
+  const auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index for column '" + column + "'");
+  }
+  return &it->second;
+}
+
+StatusOr<QueryResult> IndexedCatalog::TopKMedrank(
+    const std::vector<AttributePreference>& preferences,
+    std::size_t k) const {
+  if (preferences.empty()) {
+    return Status::FailedPrecondition("no preference criteria");
+  }
+  // Category criteria derive per-query bucket orders; those must outlive
+  // the sources, so collect them first.
+  std::vector<BucketOrder> derived;
+  derived.reserve(preferences.size());
+  for (const AttributePreference& pref : preferences) {
+    if (pref.mode == AttributePreference::Mode::kCategoryOrder) {
+      StatusOr<BucketOrder> order =
+          table_->RankCategorical(pref.column, pref.category_order);
+      if (!order.ok()) return order.status();
+      derived.push_back(std::move(order).value());
+    }
+  }
+
+  std::vector<std::unique_ptr<SortedAccessSource>> sources;
+  sources.reserve(preferences.size());
+  std::size_t category_at = 0;
+  for (const AttributePreference& pref : preferences) {
+    if (pref.mode == AttributePreference::Mode::kCategoryOrder) {
+      sources.push_back(
+          std::make_unique<BucketOrderSource>(derived[category_at++]));
+      continue;
+    }
+    StatusOr<const ColumnIndex*> index = IndexOf(pref.column);
+    if (!index.ok()) return index.status();
+    switch (pref.mode) {
+      case AttributePreference::Mode::kAscending:
+        sources.push_back((*index)->Ascending(pref.granularity));
+        break;
+      case AttributePreference::Mode::kDescending:
+        sources.push_back((*index)->Descending(pref.granularity));
+        break;
+      case AttributePreference::Mode::kNear:
+        sources.push_back((*index)->Nearest(pref.target, pref.granularity));
+        break;
+      case AttributePreference::Mode::kCategoryOrder:
+        break;  // handled above
+    }
+  }
+
+  StatusOr<MedrankResult> medrank =
+      MedrankTopK(sources, std::min(k, table_->num_rows()));
+  if (!medrank.ok()) return medrank.status();
+  QueryResult result;
+  result.top_rows = medrank->winners;
+  result.sorted_accesses = medrank->total_accesses;
+  return result;
+}
+
+}  // namespace rankties

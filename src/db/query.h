@@ -1,0 +1,88 @@
+#ifndef RANKTIES_DB_QUERY_H_
+#define RANKTIES_DB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/median_rank.h"
+#include "db/table.h"
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// One per-attribute preference criterion (paper §1: "users often state
+/// their preferences for products according to various criteria").
+struct AttributePreference {
+  enum class Mode {
+    kAscending,      ///< smaller is better (price, connections)
+    kDescending,     ///< larger is better (star rating, citations)
+    kNear,           ///< closer to `target` is better (departure time)
+    kCategoryOrder,  ///< rank by `category_order`, unlisted levels last
+  };
+
+  std::string column;
+  Mode mode = Mode::kAscending;
+  double target = 0.0;         ///< kNear only
+  double granularity = 0.0;    ///< band width; 0 = exact-value ties only
+  std::vector<std::string> category_order;  ///< kCategoryOrder only
+};
+
+/// Statistics about how tied a derived ranking is — evidence for the
+/// paper's premise that few-valued attributes yield heavy ties.
+struct TieProfile {
+  std::size_t num_buckets = 0;
+  std::size_t largest_bucket = 0;
+  double avg_bucket_size = 0.0;
+};
+TieProfile ProfileTies(const BucketOrder& order);
+
+/// A ranked-retrieval answer.
+struct QueryResult {
+  std::vector<ElementId> top_rows;       ///< best rows, best first
+  std::vector<BucketOrder> rankings;     ///< the derived per-attribute lists
+  std::int64_t sorted_accesses = 0;      ///< only set by the MEDRANK path
+};
+
+/// Evaluates multi-criteria preference queries over a table by deriving one
+/// partial ranking per criterion and aggregating with median rank (§6).
+class PreferenceQuery {
+ public:
+  /// Keeps a reference; `table` must outlive the query.
+  explicit PreferenceQuery(const Table& table) : table_(table) {}
+
+  /// Adds a criterion (fluent).
+  PreferenceQuery& Add(AttributePreference preference);
+
+  /// Derives the per-criterion partial rankings. Fails if a criterion
+  /// references a missing or mistyped column.
+  StatusOr<std::vector<BucketOrder>> DeriveRankings() const;
+
+  /// Full in-memory aggregation: median scores over the derived rankings,
+  /// top k rows returned best-first.
+  StatusOr<QueryResult> TopK(std::size_t k,
+                             MedianPolicy policy = MedianPolicy::kLower) const;
+
+  /// Database-friendly evaluation through the sorted-access MEDRANK engine;
+  /// also reports how many sorted accesses were needed (usually far fewer
+  /// than m*n).
+  StatusOr<QueryResult> TopKMedrank(std::size_t k) const;
+
+  /// Why did a row rank where it did? Per-criterion positions (as
+  /// 1-based, possibly half-integral positions) plus the median — the
+  /// "explain" a user-facing catalog search would surface.
+  struct Explanation {
+    ElementId row = -1;
+    std::vector<double> positions;  ///< one per criterion, query order
+    double median_position = 0.0;   ///< lower median of the above
+  };
+  StatusOr<Explanation> Explain(ElementId row) const;
+
+ private:
+  const Table& table_;
+  std::vector<AttributePreference> preferences_;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_DB_QUERY_H_

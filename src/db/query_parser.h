@@ -1,0 +1,36 @@
+#ifndef RANKTIES_DB_QUERY_PARSER_H_
+#define RANKTIES_DB_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "db/schema.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Parses a compact textual preference-query syntax, so the paper's
+/// "advanced search" style queries can be issued from a shell or config
+/// file. Criteria are whitespace-separated `column:spec` terms:
+///
+///   price:asc            ascending (smaller better)
+///   stars:desc           descending (larger better)
+///   distance:asc~10      ascending with granularity band 10
+///   departure:near=9~2   closest to 9, bands of width 2
+///   cuisine:thai>italian category preference order (most preferred first)
+///
+/// Example: "cuisine:thai>italian distance:asc~10 price:asc stars:desc".
+///
+/// Columns are validated against `schema` (existence and type). Fails with
+/// a message naming the offending term.
+StatusOr<std::vector<AttributePreference>> ParsePreferences(
+    const Schema& schema, const std::string& query);
+
+/// Renders preferences back to the textual syntax (round-trips with
+/// ParsePreferences, up to number formatting).
+std::string FormatPreferences(const std::vector<AttributePreference>& prefs);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_DB_QUERY_PARSER_H_

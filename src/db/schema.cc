@@ -1,0 +1,25 @@
+#include "db/schema.h"
+
+namespace rankties {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+StatusOr<std::size_t> Schema::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (std::size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rankties

@@ -1,0 +1,43 @@
+#ifndef RANKTIES_DB_SCHEMA_H_
+#define RANKTIES_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rankties {
+
+/// Declared type of a column. Categorical columns hold text values with few
+/// distinct levels (cuisine, airline, venue) — exactly the attributes whose
+/// sorts produce heavily tied partial rankings (paper §1).
+enum class ColumnType { kNumeric, kCategorical };
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+};
+
+/// An ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  const Column& column(std::size_t index) const { return columns_[index]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`; kNotFound if absent.
+  StatusOr<std::size_t> IndexOf(const std::string& name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_DB_SCHEMA_H_

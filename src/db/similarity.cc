@@ -1,0 +1,78 @@
+#include "db/similarity.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "access/bidirectional.h"
+#include "access/medrank_engine.h"
+
+namespace rankties {
+
+StatusOr<SimilarityIndex> SimilarityIndex::Build(
+    std::vector<std::vector<double>> points) {
+  if (points.empty()) return Status::InvalidArgument("no points");
+  const std::size_t dims = points.front().size();
+  if (dims == 0) return Status::InvalidArgument("zero-dimensional points");
+  for (const auto& point : points) {
+    if (point.size() != dims) {
+      return Status::InvalidArgument("inconsistent dimensions");
+    }
+  }
+  SimilarityIndex index;
+  index.num_points_ = points.size();
+  index.by_feature_.assign(dims, std::vector<double>(points.size()));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      index.by_feature_[d][i] = points[i][d];
+    }
+  }
+  return index;
+}
+
+StatusOr<SimilarityIndex::NeighborResult> SimilarityIndex::Nearest(
+    const std::vector<double>& query, std::size_t k) const {
+  if (query.size() != dimensions()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k > size()) return Status::InvalidArgument("k exceeds database size");
+  // One two-cursor proximity source per feature; the MEDRANK engine reads
+  // them in round robin until k objects reach a majority of sightings.
+  std::vector<std::unique_ptr<SortedAccessSource>> sources;
+  sources.reserve(dimensions());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    sources.push_back(
+        std::make_unique<BidirectionalCursor>(by_feature_[d], query[d]));
+  }
+  StatusOr<MedrankResult> medrank = MedrankTopK(sources, k);
+  if (!medrank.ok()) return medrank.status();
+  NeighborResult result;
+  result.neighbors = medrank->winners;
+  result.sorted_accesses = medrank->total_accesses;
+  return result;
+}
+
+StatusOr<std::string> SimilarityIndex::Classify(
+    const std::vector<double>& query, const std::vector<std::string>& labels,
+    std::size_t k) const {
+  if (labels.size() != size()) {
+    return Status::InvalidArgument("one label per object required");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  StatusOr<NeighborResult> nearest = Nearest(query, k);
+  if (!nearest.ok()) return nearest.status();
+  std::map<std::string, std::size_t> votes;
+  for (std::int32_t neighbor : nearest->neighbors) {
+    ++votes[labels[static_cast<std::size_t>(neighbor)]];
+  }
+  // Plurality; ties go to the label of the nearest member.
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : votes) best_count = std::max(best_count, count);
+  for (std::int32_t neighbor : nearest->neighbors) {
+    const std::string& label = labels[static_cast<std::size_t>(neighbor)];
+    if (votes[label] == best_count) return label;
+  }
+  return Status::Internal("no neighbors");
+}
+
+}  // namespace rankties

@@ -1,0 +1,113 @@
+#ifndef RANKTIES_DB_TABLE_H_
+#define RANKTIES_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+struct TableFilterResult;
+
+/// An in-memory relation. Rows are identified by dense RowId = ElementId,
+/// so a sort of the table *is* a partial ranking of its rows — the bridge
+/// between the database world and the paper's mathematics.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; fails unless arity matches and each cell's kind agrees
+  /// with the declared column type (nulls allowed anywhere).
+  Status AddRow(std::vector<Value> row);
+
+  /// Cell accessor (bounds unchecked in release; row < num_rows(),
+  /// col < schema().num_columns()).
+  const Value& At(std::size_t row, std::size_t col) const {
+    return rows_[row][col];
+  }
+
+  /// All values of one column, in row order.
+  std::vector<Value> ColumnValues(std::size_t col) const;
+
+  /// Numeric column as doubles; nulls become +infinity ("missing sorts
+  /// last"). Fails on non-numeric columns.
+  StatusOr<std::vector<double>> NumericColumn(const std::string& name) const;
+
+  /// Distinct text levels of a categorical column, sorted. Fails on
+  /// non-categorical columns.
+  StatusOr<std::vector<std::string>> CategoricalLevels(
+      const std::string& name) const;
+
+  // --- Sorts producing partial rankings (the paper's §1 operations). ---
+
+  /// Ascending sort by a numeric column; equal values tie. With
+  /// `granularity` > 0, values are first bucketed into bands of that width
+  /// (the "any distance up to ten miles is the same" semantics).
+  StatusOr<BucketOrder> RankAscending(const std::string& column,
+                                      double granularity = 0) const;
+
+  /// Descending variant (larger is better), same granularity semantics.
+  StatusOr<BucketOrder> RankDescending(const std::string& column,
+                                       double granularity = 0) const;
+
+  /// Rank by distance to a target value (closest first), optional bands.
+  StatusOr<BucketOrder> RankNear(const std::string& column, double target,
+                                 double granularity = 0) const;
+
+  /// Rank a categorical column by a user preference order over its levels;
+  /// rows whose level is absent from `preference` share one bottom bucket;
+  /// rows with equal level tie. (Cuisine preference in the paper's example.)
+  StatusOr<BucketOrder> RankCategorical(
+      const std::string& column,
+      const std::vector<std::string>& preference) const;
+
+  // --- Filtering (the paper's "rank and/or filter the records"). ---
+  // See TableFilterResult below for the result shape.
+
+  /// Rows whose numeric `column` lies in [lo, hi]; nulls never match.
+  StatusOr<TableFilterResult> WhereNumericRange(const std::string& column,
+                                                double lo, double hi) const;
+
+  /// Rows whose categorical `column` equals one of `levels`.
+  StatusOr<TableFilterResult> WhereCategoryIn(
+      const std::string& column, const std::vector<std::string>& levels) const;
+
+  /// Projection: a copy containing only the named columns, in the given
+  /// order. Fails on unknown or duplicate names.
+  StatusOr<Table> Select(const std::vector<std::string>& columns) const;
+
+  // --- CSV round trip. ---
+
+  /// Serializes header + rows. Text cells containing commas/quotes are
+  /// double-quoted.
+  std::string ToCsv() const;
+
+  /// Parses a CSV produced by ToCsv (or hand-written with the same rules)
+  /// against the provided schema; numeric cells must parse as doubles,
+  /// empty cells become null.
+  static StatusOr<Table> FromCsv(const Schema& schema,
+                                 const std::string& csv);
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// A filtered copy plus the mapping from new row ids to original ones, so
+/// rankings over the subset can be translated back to catalog row ids.
+struct TableFilterResult {
+  Table table;
+  std::vector<ElementId> original_rows;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_DB_TABLE_H_

@@ -1,0 +1,71 @@
+#include "db/value.h"
+
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+namespace rankties {
+
+StatusOr<double> Value::AsNumber() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::FailedPrecondition("value is not numeric");
+  }
+  return number_;
+}
+
+StatusOr<std::string> Value::AsText() const {
+  if (kind_ != Kind::kText) {
+    return Status::FailedPrecondition("value is not text");
+  }
+  return text_;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "";
+    case Kind::kText:
+      return text_;
+    case Kind::kNumber: {
+      if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
+        std::ostringstream os;
+        os << static_cast<long long>(number_);
+        return os.str();
+      }
+      std::ostringstream os;
+      os << number_;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) {
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_);
+  }
+  switch (a.kind_) {
+    case Value::Kind::kNull:
+      return false;
+    case Value::Kind::kNumber:
+      return a.number_ < b.number_;
+    case Value::Kind::kText:
+      return a.text_ < b.text_;
+  }
+  return false;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::kNull:
+      return true;
+    case Value::Kind::kNumber:
+      return a.number_ == b.number_;
+    case Value::Kind::kText:
+      return a.text_ == b.text_;
+  }
+  return false;
+}
+
+}  // namespace rankties

@@ -1,0 +1,51 @@
+#ifndef RANKTIES_DB_VALUE_H_
+#define RANKTIES_DB_VALUE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace rankties {
+
+/// A typed database cell: numeric, text, or null. Kept deliberately small —
+/// the mini database exists to exercise the paper's scenario of ranking
+/// records by few-valued attributes, not to be a full storage engine.
+class Value {
+ public:
+  enum class Kind { kNull, kNumber, kText };
+
+  /// Null value.
+  Value() : kind_(Kind::kNull) {}
+  /// Numeric value.
+  explicit Value(double number) : kind_(Kind::kNumber), number_(number) {}
+  /// Text value.
+  explicit Value(std::string text)
+      : kind_(Kind::kText), text_(std::move(text)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  /// The numeric payload; fails on non-numeric values.
+  StatusOr<double> AsNumber() const;
+  /// The text payload; fails on non-text values.
+  StatusOr<std::string> AsText() const;
+
+  /// CSV-friendly rendering; null renders empty, numbers drop a trailing
+  /// ".000000" when integral.
+  std::string ToString() const;
+
+  /// Total ordering for sorting: null < numbers (by value) < text (lexic.).
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_;
+  double number_ = 0.0;
+  std::string text_;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_DB_VALUE_H_

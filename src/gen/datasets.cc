@@ -1,0 +1,131 @@
+#include "gen/datasets.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gen/zipf.h"
+
+namespace rankties {
+
+namespace {
+
+const char* const kCuisines[] = {"italian", "chinese",  "mexican", "indian",
+                                 "thai",    "american", "french",  "japanese"};
+const char* const kAirlines[] = {"aeris",   "blueway", "cumulus",
+                                 "driftjet", "eastral", "flightly"};
+const char* const kVenues[] = {"PODS", "SIGMOD", "VLDB",  "ICDE", "STOC",
+                               "FOCS", "SODA",   "WWW",   "KDD",  "CIKM"};
+
+}  // namespace
+
+Table MakeRestaurantTable(std::size_t num_rows, Rng& rng) {
+  Table table(Schema({
+      {"cuisine", ColumnType::kCategorical},
+      {"distance_miles", ColumnType::kNumeric},
+      {"price_tier", ColumnType::kNumeric},
+      {"stars", ColumnType::kNumeric},
+  }));
+  const ZipfSampler cuisine_dist(std::size(kCuisines), 1.1);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const double distance = std::min(30.0, rng.Exponential(1.0 / 6.0));
+    const double price = static_cast<double>(rng.UniformInt(1, 4));
+    const double stars =
+        static_cast<double>(rng.UniformInt(2, 10)) / 2.0;  // 1.0..5.0 halves
+    Status s = table.AddRow({
+        Value(std::string(kCuisines[cuisine_dist.Sample(rng)])),
+        Value(std::round(distance * 10.0) / 10.0),
+        Value(price),
+        Value(stars),
+    });
+    assert(s.ok());
+    (void)s;
+  }
+  return table;
+}
+
+Table MakeFlightTable(std::size_t num_rows, Rng& rng) {
+  Table table(Schema({
+      {"airline", ColumnType::kCategorical},
+      {"price_usd", ColumnType::kNumeric},
+      {"connections", ColumnType::kNumeric},
+      {"departure_hour", ColumnType::kNumeric},
+      {"duration_hours", ColumnType::kNumeric},
+  }));
+  const ZipfSampler airline_dist(std::size(kAirlines), 0.8);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    // Connections skewed toward 0/1 — the paper's "usually has no more than
+    // four values" numeric attribute.
+    const double u = rng.UniformReal();
+    const double connections = u < 0.45 ? 0 : (u < 0.8 ? 1 : (u < 0.95 ? 2 : 3));
+    const double base_price = 120.0 * std::exp(rng.Normal(0.0, 0.5));
+    const double price =
+        std::round((base_price + 60.0 * connections) * 100.0) / 100.0;
+    const double departure = static_cast<double>(rng.UniformInt(0, 23));
+    const double duration =
+        std::round((2.0 + 1.5 * connections + rng.Exponential(0.8)) * 10.0) /
+        10.0;
+    Status s = table.AddRow({
+        Value(std::string(kAirlines[airline_dist.Sample(rng)])),
+        Value(price),
+        Value(connections),
+        Value(departure),
+        Value(duration),
+    });
+    assert(s.ok());
+    (void)s;
+  }
+  return table;
+}
+
+Table MakeBibliographyTable(std::size_t num_rows, Rng& rng) {
+  Table table(Schema({
+      {"venue", ColumnType::kCategorical},
+      {"year", ColumnType::kNumeric},
+      {"citations", ColumnType::kNumeric},
+      {"pages", ColumnType::kNumeric},
+  }));
+  const ZipfSampler venue_dist(std::size(kVenues), 0.9);
+  const ZipfSampler citation_dist(1000, 1.3);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    Status s = table.AddRow({
+        Value(std::string(kVenues[venue_dist.Sample(rng)])),
+        Value(static_cast<double>(rng.UniformInt(1980, 2004))),
+        Value(static_cast<double>(citation_dist.Sample(rng))),
+        Value(static_cast<double>(rng.UniformInt(6, 30))),
+    });
+    assert(s.ok());
+    (void)s;
+  }
+  return table;
+}
+
+Table MakeAwardsTable(std::size_t num_rows, Rng& rng) {
+  static const char* const kDirectorates[] = {
+      "CISE", "MPS", "ENG", "BIO", "GEO", "SBE", "EHR"};
+  Table table(Schema({
+      {"directorate", ColumnType::kCategorical},
+      {"award_amount_usd", ColumnType::kNumeric},
+      {"start_year", ColumnType::kNumeric},
+      {"duration_months", ColumnType::kNumeric},
+  }));
+  const ZipfSampler directorate_dist(std::size(kDirectorates), 0.6);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const double amount =
+        std::round(120000.0 * std::exp(rng.Normal(0.0, 0.8)));
+    const double duration =
+        12.0 * static_cast<double>(rng.UniformInt(1, 5));
+    Status s = table.AddRow({
+        Value(std::string(kDirectorates[directorate_dist.Sample(rng)])),
+        Value(amount),
+        Value(static_cast<double>(rng.UniformInt(1990, 2004))),
+        Value(duration),
+    });
+    assert(s.ok());
+    (void)s;
+  }
+  return table;
+}
+
+}  // namespace rankties

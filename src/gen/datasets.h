@@ -1,0 +1,37 @@
+#ifndef RANKTIES_GEN_DATASETS_H_
+#define RANKTIES_GEN_DATASETS_H_
+
+#include <cstddef>
+
+#include "db/table.h"
+#include "util/rng.h"
+
+namespace rankties {
+
+/// Synthetic stand-ins for the paper's §1 motivating catalogs (dine.com,
+/// travelocity, MathSciNet, ...), which are proprietary. Each generator
+/// reproduces the structural property the paper's argument rests on: a mix
+/// of *few-valued* attributes (categorical levels, small integer ranges,
+/// coarse ratings) whose sorts are heavily tied, plus continuous attributes
+/// users quantize (distance bands, price bands).
+
+/// Restaurants: cuisine (8 Zipf-skewed levels), distance_miles (exp, 0-30),
+/// price_tier (1-4), stars (1.0-5.0 in half steps).
+Table MakeRestaurantTable(std::size_t num_rows, Rng& rng);
+
+/// Flights: airline (6 levels), price_usd (log-normal-ish), connections
+/// (0-3, skewed to 0/1), departure_hour (0-23), duration_hours.
+Table MakeFlightTable(std::size_t num_rows, Rng& rng);
+
+/// Bibliography records: venue (10 levels), year (1980-2004), citations
+/// (Zipf tail), pages.
+Table MakeBibliographyTable(std::size_t num_rows, Rng& rng);
+
+/// NSF-award-style records (the paper's www.nsf.gov example): directorate
+/// (7 levels), award_amount_usd (log-normal-ish), start_year (1990-2004),
+/// duration_months (12/24/36/48/60 — five-valued).
+Table MakeAwardsTable(std::size_t num_rows, Rng& rng);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_GEN_DATASETS_H_

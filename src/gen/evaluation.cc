@@ -1,0 +1,53 @@
+#include "gen/evaluation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rankties {
+
+double TopKOverlap(const Permutation& candidate, const Permutation& truth,
+                   std::size_t k) {
+  const std::size_t n = candidate.n();
+  if (n == 0) return 0.0;
+  k = std::min(k, n);
+  if (k == 0) return 0.0;
+  std::set<ElementId> truth_top;
+  for (std::size_t r = 0; r < k; ++r) {
+    truth_top.insert(truth.At(static_cast<ElementId>(r)));
+  }
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < k; ++r) {
+    if (truth_top.count(candidate.At(static_cast<ElementId>(r)))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double PrefixJaccard(const BucketOrder& a, const BucketOrder& b,
+                     std::size_t prefix) {
+  const std::size_t n = a.n();
+  if (n == 0) return 0.0;
+  prefix = std::min(prefix, n);
+  if (prefix == 0) return 0.0;
+  const Permutation pa = a.CanonicalRefinement();
+  const Permutation pb = b.CanonicalRefinement();
+  std::set<ElementId> sa, sb;
+  for (std::size_t r = 0; r < prefix; ++r) {
+    sa.insert(pa.At(static_cast<ElementId>(r)));
+    sb.insert(pb.At(static_cast<ElementId>(r)));
+  }
+  std::size_t intersection = 0;
+  for (ElementId e : sa) intersection += sb.count(e);
+  const std::size_t uni = sa.size() + sb.size() - intersection;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+double WinnerReciprocalRank(const Permutation& candidate,
+                            const Permutation& truth) {
+  if (candidate.n() == 0) return 0.0;
+  const ElementId winner = truth.At(0);
+  return 1.0 / static_cast<double>(candidate.Rank(winner) + 1);
+}
+
+}  // namespace rankties

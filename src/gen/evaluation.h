@@ -1,0 +1,35 @@
+#ifndef RANKTIES_GEN_EVALUATION_H_
+#define RANKTIES_GEN_EVALUATION_H_
+
+#include <cstddef>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+
+namespace rankties {
+
+/// Retrieval-style evaluation of an aggregate against a known ground
+/// truth — the measurements the recovery experiments (E13) and examples
+/// report alongside the metric distances.
+
+/// |top-k of candidate ∩ top-k of truth| / k  (precision@k == recall@k
+/// here since both sides have exactly k relevant items).
+/// k is clamped to the domain size; 0 on empty domains.
+double TopKOverlap(const Permutation& candidate, const Permutation& truth,
+                   std::size_t k);
+
+/// Overlap between the top buckets of two partial rankings: the Jaccard
+/// similarity |A ∩ B| / |A ∪ B| of the sets of elements at strictly better
+/// than median position... concretely, of the elements in the first
+/// `prefix` positions of each canonical refinement. Clamped like above.
+double PrefixJaccard(const BucketOrder& a, const BucketOrder& b,
+                     std::size_t prefix);
+
+/// Mean reciprocal rank of the truth's winner in the candidate:
+/// 1 / (1-based rank of truth.At(0) in candidate). 0 on empty domains.
+double WinnerReciprocalRank(const Permutation& candidate,
+                            const Permutation& truth);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_GEN_EVALUATION_H_

@@ -1,0 +1,101 @@
+#include "gen/mallows.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rankties {
+
+Permutation MallowsSample(const Permutation& center, double phi, Rng& rng) {
+  assert(phi > 0.0 && phi <= 1.0);
+  const std::size_t n = center.n();
+  std::vector<ElementId> order;
+  order.reserve(n);
+  // Repeated insertion: the i-th element of the center (best first) is
+  // inserted at offset j from the *back* of the current prefix with
+  // probability phi^j / (1 + phi + ... + phi^(i-1)); j = 0 keeps it last,
+  // matching the center.
+  for (std::size_t i = 0; i < n; ++i) {
+    const ElementId e = center.At(static_cast<ElementId>(i));
+    // Draw j in {0..i} with weight phi^j.
+    std::size_t j;
+    if (phi == 1.0) {
+      j = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(i)));
+    } else {
+      const double total = (1.0 - std::pow(phi, static_cast<double>(i + 1))) /
+                           (1.0 - phi);
+      double u = rng.UniformReal() * total;
+      double w = 1.0;
+      j = 0;
+      while (j < i) {
+        if (u < w) break;
+        u -= w;
+        w *= phi;
+        ++j;
+      }
+    }
+    order.insert(order.end() - static_cast<std::ptrdiff_t>(j), e);
+  }
+  StatusOr<Permutation> perm = Permutation::FromOrder(order);
+  assert(perm.ok());
+  return std::move(perm).value();
+}
+
+BucketOrder QuantizedMallows(const Permutation& center, double phi,
+                             std::size_t num_buckets, Rng& rng) {
+  const std::size_t n = center.n();
+  assert(num_buckets >= 1 && num_buckets <= n);
+  const Permutation sample = MallowsSample(center, phi, rng);
+  // Near-equal contiguous rank bands: the first (n mod t) bands get one
+  // extra element.
+  std::vector<BucketIndex> bucket_of(n);
+  const std::size_t base = n / num_buckets;
+  const std::size_t extra = n % num_buckets;
+  std::size_t r = 0;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    const std::size_t size = base + (b < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i, ++r) {
+      bucket_of[static_cast<std::size_t>(
+          sample.At(static_cast<ElementId>(r)))] =
+          static_cast<BucketIndex>(b);
+    }
+  }
+  StatusOr<BucketOrder> order = BucketOrder::FromBucketIndex(bucket_of);
+  assert(order.ok());
+  return std::move(order).value();
+}
+
+Permutation PlackettLuceSample(const std::vector<double>& weights, Rng& rng) {
+  const std::size_t n = weights.size();
+  std::vector<ElementId> remaining(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    assert(weights[e] > 0.0);
+    remaining[e] = static_cast<ElementId>(e);
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<ElementId> order;
+  order.reserve(n);
+  while (!remaining.empty()) {
+    double u = rng.UniformReal() * total;
+    std::size_t pick = remaining.size() - 1;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const double w = weights[static_cast<std::size_t>(remaining[i])];
+      if (u < w) {
+        pick = i;
+        break;
+      }
+      u -= w;
+    }
+    const ElementId chosen = remaining[pick];
+    order.push_back(chosen);
+    total -= weights[static_cast<std::size_t>(chosen)];
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  StatusOr<Permutation> perm = Permutation::FromOrder(order);
+  assert(perm.ok());
+  return std::move(perm).value();
+}
+
+}  // namespace rankties

@@ -1,0 +1,37 @@
+#ifndef RANKTIES_GEN_MALLOWS_H_
+#define RANKTIES_GEN_MALLOWS_H_
+
+#include <cstddef>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/rng.h"
+
+namespace rankties {
+
+/// Samples from the Mallows model M(center, phi) via the repeated-insertion
+/// method: P(pi) proportional to phi^KendallTau(pi, center), with dispersion
+/// phi in (0, 1]. phi -> 0 concentrates on the center; phi = 1 is uniform.
+/// O(n^2) worst case (insertion into a vector).
+///
+/// Mallows mixtures are the standard way to synthesize *correlated* voter
+/// rankings — the regime where aggregation quality differences between
+/// median/Borda/optimal actually show (benches E5/E7/E11).
+Permutation MallowsSample(const Permutation& center, double phi, Rng& rng);
+
+/// A Mallows sample quantized into `num_buckets` contiguous rank bands of
+/// near-equal size: a correlated *partial* ranking, modeling a few-valued
+/// attribute whose levels correlate with an underlying true order.
+/// Requires 1 <= num_buckets <= n.
+BucketOrder QuantizedMallows(const Permutation& center, double phi,
+                             std::size_t num_buckets, Rng& rng);
+
+/// Samples from the Plackett–Luce model: positions are filled front to
+/// back, choosing among the remaining elements with probability
+/// proportional to their (positive) weights. Large-weight elements
+/// concentrate near the front. O(n^2); weights need not be normalized.
+Permutation PlackettLuceSample(const std::vector<double>& weights, Rng& rng);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_GEN_MALLOWS_H_

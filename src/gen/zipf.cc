@@ -1,0 +1,28 @@
+#include "gen/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rankties {
+
+ZipfSampler::ZipfSampler(std::size_t num_values, double s) {
+  assert(num_values > 0);
+  cdf_.resize(num_values);
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_values; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformReal();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace rankties

@@ -1,0 +1,30 @@
+#ifndef RANKTIES_GEN_ZIPF_H_
+#define RANKTIES_GEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rankties {
+
+/// Zipf-distributed sampler over {0..num_values-1}: P(i) proportional to
+/// 1/(i+1)^s. Used to draw categorical attribute levels (a handful of
+/// cuisines with a popular head) — the few-valued skew the paper's database
+/// scenario turns on. Precomputes the CDF; O(log V) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t num_values, double s);
+
+  std::size_t num_values() const { return cdf_.size(); }
+
+  /// One sample.
+  std::size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_GEN_ZIPF_H_

@@ -1,0 +1,87 @@
+#include "rank/active_domain.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rankties {
+
+namespace {
+
+// Builds the bucket order for one list over the dense active domain:
+// listed items as singleton buckets in order, everything else in a bottom
+// bucket.
+StatusOr<BucketOrder> ListToOrder(
+    const std::vector<std::int64_t>& top,
+    const std::unordered_map<std::int64_t, ElementId>& dense,
+    std::size_t n) {
+  std::vector<std::vector<ElementId>> buckets;
+  std::vector<bool> listed(n, false);
+  for (std::int64_t item : top) {
+    const ElementId e = dense.at(item);
+    if (listed[static_cast<std::size_t>(e)]) {
+      return Status::InvalidArgument("duplicate item in top list");
+    }
+    listed[static_cast<std::size_t>(e)] = true;
+    buckets.push_back({e});
+  }
+  std::vector<ElementId> bottom;
+  for (std::size_t e = 0; e < n; ++e) {
+    if (!listed[e]) bottom.push_back(static_cast<ElementId>(e));
+  }
+  if (!bottom.empty()) buckets.push_back(std::move(bottom));
+  return BucketOrder::FromBuckets(n, std::move(buckets));
+}
+
+}  // namespace
+
+StatusOr<AlignedTopK> AlignTopKLists(const std::vector<std::int64_t>& top1,
+                                     const std::vector<std::int64_t>& top2) {
+  if (top1.empty() && top2.empty()) {
+    return Status::InvalidArgument("both top lists are empty");
+  }
+  // Dense ids in first-appearance order (top1 then top2) for determinism.
+  std::unordered_map<std::int64_t, ElementId> dense;
+  std::vector<std::int64_t> items;
+  for (const auto* list : {&top1, &top2}) {
+    for (std::int64_t item : *list) {
+      if (dense.emplace(item, static_cast<ElementId>(items.size())).second) {
+        items.push_back(item);
+      }
+    }
+  }
+  const std::size_t n = items.size();
+  StatusOr<BucketOrder> sigma = ListToOrder(top1, dense, n);
+  if (!sigma.ok()) return sigma.status();
+  StatusOr<BucketOrder> tau = ListToOrder(top2, dense, n);
+  if (!tau.ok()) return tau.status();
+  return AlignedTopK{std::move(sigma).value(), std::move(tau).value(),
+                     std::move(items)};
+}
+
+StatusOr<AlignedTopKMany> AlignManyTopKLists(
+    const std::vector<std::vector<std::int64_t>>& tops) {
+  if (tops.empty()) return Status::InvalidArgument("no top lists");
+  std::unordered_map<std::int64_t, ElementId> dense;
+  AlignedTopKMany aligned;
+  for (const auto& list : tops) {
+    for (std::int64_t item : list) {
+      if (dense.emplace(item, static_cast<ElementId>(aligned.items.size()))
+              .second) {
+        aligned.items.push_back(item);
+      }
+    }
+  }
+  if (aligned.items.empty()) {
+    return Status::InvalidArgument("all top lists are empty");
+  }
+  const std::size_t n = aligned.items.size();
+  aligned.orders.reserve(tops.size());
+  for (const auto& list : tops) {
+    StatusOr<BucketOrder> order = ListToOrder(list, dense, n);
+    if (!order.ok()) return order.status();
+    aligned.orders.push_back(std::move(order).value());
+  }
+  return aligned;
+}
+
+}  // namespace rankties

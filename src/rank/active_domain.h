@@ -1,0 +1,49 @@
+#ifndef RANKTIES_RANK_ACTIVE_DOMAIN_H_
+#define RANKTIES_RANK_ACTIVE_DOMAIN_H_
+
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Appendix A.3 machinery: in Fagin-Kumar-Sivakumar [10] a top-k list is a
+/// bijection of its *own* k-element domain onto {1..k} — two lists from two
+/// engines rank different item sets. This paper instead fixes one domain
+/// and appends a bottom bucket. The bridge: restrict both lists to their
+/// *active domain* (the union of the two top-k item sets) and add bottom
+/// buckets there.
+///
+/// `AlignTopKLists` takes the two raw top lists as sequences of item ids
+/// drawn from an arbitrary universe (best first, no duplicates within a
+/// list; lengths may differ) and produces two BucketOrders over the dense
+/// active domain 0..|active|-1, plus the mapping back to the original ids.
+struct AlignedTopK {
+  BucketOrder sigma;                ///< first list over the active domain
+  BucketOrder tau;                  ///< second list over the active domain
+  std::vector<std::int64_t> items;  ///< dense id -> original item id
+};
+
+/// Fails on duplicate items within a list or when both lists are empty.
+/// Items appearing in only one list land in the other's bottom bucket —
+/// exactly the A.3 construction that makes K^(p), FHaus, KHaus metrics on
+/// the fixed active domain.
+StatusOr<AlignedTopK> AlignTopKLists(const std::vector<std::int64_t>& top1,
+                                     const std::vector<std::int64_t>& top2);
+
+/// m-way generalization for aggregation: align any number of top lists
+/// (meta-search engines, each returning its own top results over a shared
+/// but unbounded universe) onto their joint active domain. Each output
+/// bucket order lists that engine's items as singletons followed by a
+/// bottom bucket of everything it did not return.
+struct AlignedTopKMany {
+  std::vector<BucketOrder> orders;  ///< one per input list, same domain
+  std::vector<std::int64_t> items;  ///< dense id -> original item id
+};
+StatusOr<AlignedTopKMany> AlignManyTopKLists(
+    const std::vector<std::vector<std::int64_t>>& tops);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_RANK_ACTIVE_DOMAIN_H_

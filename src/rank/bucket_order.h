@@ -1,0 +1,143 @@
+#ifndef RANKTIES_RANK_BUCKET_ORDER_H_
+#define RANKTIES_RANK_BUCKET_ORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rank/element.h"
+#include "rank/permutation.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// A bucket order / partial ranking over the domain {0..n-1} (paper §2).
+///
+/// A bucket order is a linear order with ties: an ordered partition
+/// B1 < B2 < ... < Bt of the domain. The associated partial ranking assigns
+/// every element of bucket Bi the position
+///     pos(Bi) = sum_{j<i} |Bj| + (|Bi|+1)/2,
+/// the average 1-based location within the bucket. Positions are always
+/// integer multiples of 1/2, so the library stores the exact doubled value
+/// (`TwicePosition`) and performs all metric arithmetic on integers.
+///
+/// Invariants (enforced by the factory functions):
+///  * buckets partition {0..n-1}; every bucket is non-empty;
+///  * elements within each bucket are listed in increasing id order
+///    (buckets are *sets*; the stored order is for determinism only).
+class BucketOrder {
+ public:
+  /// An empty-domain bucket order (n = 0, no buckets).
+  BucketOrder() = default;
+
+  /// Builds from explicit buckets, front bucket first. Fails unless the
+  /// buckets form a partition of {0..n-1} with no empty bucket.
+  static StatusOr<BucketOrder> FromBuckets(
+      std::size_t n, std::vector<std::vector<ElementId>> buckets);
+
+  /// Builds from a bucket-index vector: `bucket_of[e]` = index of e's bucket.
+  /// Indices must use 0..t-1 contiguously. Fails otherwise.
+  static StatusOr<BucketOrder> FromBucketIndex(
+      const std::vector<BucketIndex>& bucket_of);
+
+  /// The full ranking corresponding to a permutation (all buckets singleton).
+  static BucketOrder FromPermutation(const Permutation& perm);
+
+  /// All n elements tied in one bucket.
+  static BucketOrder SingleBucket(std::size_t n);
+
+  /// Top-k list (paper §2): the first k elements of `perm` as singleton
+  /// buckets followed by one bottom bucket with the remaining n-k elements.
+  /// Requires 0 <= k <= n; k == n yields the full ranking.
+  static BucketOrder TopKOf(const Permutation& perm, std::size_t k);
+
+  /// Groups elements by a score (smaller score = better); elements with
+  /// equal scores are tied. Scores may be any doubles.
+  static BucketOrder FromScores(const std::vector<double>& scores);
+
+  /// Like FromScores but on exact integer keys (used internally to avoid
+  /// floating point).
+  static BucketOrder FromIntKeys(const std::vector<std::int64_t>& keys);
+
+  std::size_t n() const { return bucket_of_.size(); }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Elements of bucket `b` (ascending element id), 0-based bucket index.
+  const std::vector<ElementId>& bucket(std::size_t b) const {
+    return buckets_[b];
+  }
+  const std::vector<std::vector<ElementId>>& buckets() const {
+    return buckets_;
+  }
+
+  /// Index of the bucket containing `e`.
+  BucketIndex BucketOf(ElementId e) const {
+    return bucket_of_[static_cast<std::size_t>(e)];
+  }
+
+  /// Exact doubled position 2*sigma(e) (always integral; paper §2).
+  std::int64_t TwicePosition(ElementId e) const {
+    return twice_pos_by_bucket_[static_cast<std::size_t>(BucketOf(e))];
+  }
+
+  /// sigma(e) = pos of e's bucket, 1-based, as a double.
+  double Position(ElementId e) const {
+    return static_cast<double>(TwicePosition(e)) / 2.0;
+  }
+
+  /// Doubled position of bucket `b`.
+  std::int64_t TwicePositionOfBucket(std::size_t b) const {
+    return twice_pos_by_bucket_[b];
+  }
+
+  /// True if `a` is strictly ahead of `b` (sigma(a) < sigma(b)).
+  bool Ahead(ElementId a, ElementId b) const {
+    return BucketOf(a) < BucketOf(b);
+  }
+  /// True if `a` and `b` are tied (same bucket).
+  bool Tied(ElementId a, ElementId b) const {
+    return BucketOf(a) == BucketOf(b);
+  }
+
+  /// The type of the bucket order: the sequence of bucket sizes (paper A.1).
+  std::vector<std::size_t> Type() const;
+
+  /// True if every bucket is a singleton (a full ranking).
+  bool IsFull() const { return num_buckets() == n(); }
+
+  /// True if this is a top-k list: k singleton buckets then one bottom
+  /// bucket (a full ranking is a top-n list).
+  bool IsTopK(std::size_t k) const;
+
+  /// The reverse partial ranking sigma^R, sigma^R(d) = |D|+1-sigma(d).
+  BucketOrder Reverse() const;
+
+  /// The induced partial ranking on a subset of the domain: keep only the
+  /// elements of `subset` (old ids), renumber them 0..|subset|-1 in the
+  /// order given by `subset`, and drop now-empty buckets. Used to push
+  /// rankings through db filters. Fails on out-of-range or duplicate ids.
+  StatusOr<BucketOrder> RestrictTo(const std::vector<ElementId>& subset) const;
+
+  /// The full ranking obtained by breaking all ties in increasing element-id
+  /// order (a canonical full refinement; used for deterministic output).
+  Permutation CanonicalRefinement() const;
+
+  /// "[0 1 | 2 | 3 4]": buckets front-to-back, elements ascending.
+  std::string ToString() const;
+
+  /// Structural equality: same partition into the same ordered buckets.
+  friend bool operator==(const BucketOrder& a, const BucketOrder& b) {
+    return a.bucket_of_ == b.bucket_of_ && a.buckets_ == b.buckets_;
+  }
+
+ private:
+  void RebuildPositions();
+
+  std::vector<std::vector<ElementId>> buckets_;   // bucket -> elements
+  std::vector<BucketIndex> bucket_of_;            // element -> bucket
+  std::vector<std::int64_t> twice_pos_by_bucket_;  // bucket -> 2*pos
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_RANK_BUCKET_ORDER_H_

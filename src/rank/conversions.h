@@ -1,0 +1,59 @@
+#ifndef RANKTIES_RANK_CONVERSIONS_H_
+#define RANKTIES_RANK_CONVERSIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Converts raw attribute scores to a bucket order with ties at a given
+/// granularity: scores are bucketed by floor(score / granularity), so e.g.
+/// granularity = 10 treats any two distances within the same 10-mile band
+/// as tied (the paper's §1 "any distance up to ten miles is the same"
+/// example). Ascending: smaller band = better.
+/// Fails if granularity <= 0.
+StatusOr<BucketOrder> QuantizeScores(const std::vector<double>& scores,
+                                     double granularity);
+
+/// Converts scores to a bucket order ranking by *distance to a target*
+/// (nearest first), with optional granularity bands on the absolute
+/// distance. Used for "number of connections close to 0", "price near $X".
+/// Fails if granularity < 0 (0 means exact-distance ties only).
+StatusOr<BucketOrder> RankByDistance(const std::vector<double>& scores,
+                                     double target, double granularity);
+
+/// Descending variant of BucketOrder::FromScores (larger score = better).
+BucketOrder FromScoresDescending(const std::vector<double>& scores);
+
+/// Collapses a bucket order to a coarser one by merging every run of
+/// buckets whose sizes are given by `type` (front to back). `type` must sum
+/// to... exactly cover the buckets of `order`; fails otherwise. The merge
+/// respects order: the first type[0] buckets merge into one, and so on.
+/// `type` entries count *buckets*, not elements.
+StatusOr<BucketOrder> MergeBuckets(const BucketOrder& order,
+                                   const std::vector<std::size_t>& type);
+
+/// Builds the bucket order over {0..n-1} whose buckets, front to back, have
+/// the sizes in `sizes` and contain consecutive ids: {0..s0-1}, {s0..}, ...
+/// Fails unless the sizes are positive and sum to n.
+StatusOr<BucketOrder> ConsecutiveBlocks(std::size_t n,
+                                        const std::vector<std::size_t>& sizes);
+
+/// Renames every element through `relabel`: element e of `order` becomes
+/// relabel.At(e)... precisely, the result ranks relabel(e) wherever
+/// `order` ranked e. All metrics are invariant under applying the same
+/// relabeling to both sides (metamorphic tests rely on this).
+BucketOrder Relabel(const BucketOrder& order, const Permutation& relabel);
+
+/// Concatenates two bucket orders over disjoint id ranges: the result is
+/// over {0..na+nb-1}, with all of `a`'s buckets first and `b`'s buckets
+/// (ids shifted by a.n()) after. Both Kendall- and footrule-type metrics
+/// are additive across such concatenations.
+BucketOrder Concatenate(const BucketOrder& a, const BucketOrder& b);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_RANK_CONVERSIONS_H_

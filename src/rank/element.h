@@ -1,0 +1,17 @@
+#ifndef RANKTIES_RANK_ELEMENT_H_
+#define RANKTIES_RANK_ELEMENT_H_
+
+#include <cstdint>
+
+namespace rankties {
+
+/// Elements of the ranked domain D are dense integer ids 0..n-1. Higher
+/// layers (the db library) map record ids / labels onto this dense space.
+using ElementId = std::int32_t;
+
+/// Index of a bucket within a bucket order, 0-based, front bucket first.
+using BucketIndex = std::int32_t;
+
+}  // namespace rankties
+
+#endif  // RANKTIES_RANK_ELEMENT_H_

@@ -1,0 +1,99 @@
+#include "rank/io.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace rankties {
+
+StatusOr<BucketOrder> ParseBucketOrder(const std::string& text) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '[') {
+    return Status::InvalidArgument("expected '['");
+  }
+  ++i;
+  std::vector<std::vector<ElementId>> buckets;
+  std::vector<ElementId> current;
+  std::size_t count = 0;
+  bool closed = false;
+  bool pending_bucket = false;  // a '|' was seen, next bucket must be filled
+  while (i < text.size()) {
+    skip_ws();
+    if (i >= text.size()) break;
+    const char c = text[i];
+    if (c == ']') {
+      if (pending_bucket && current.empty()) {
+        return Status::InvalidArgument("empty bucket before ']'");
+      }
+      ++i;
+      closed = true;
+      break;
+    }
+    if (c == '|') {
+      if (current.empty()) {
+        return Status::InvalidArgument("empty bucket before '|'");
+      }
+      buckets.push_back(std::move(current));
+      current.clear();
+      pending_bucket = true;
+      ++i;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    ElementId value = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + (text[i] - '0');
+      ++i;
+    }
+    current.push_back(value);
+    pending_bucket = false;
+    ++count;
+  }
+  if (!closed) return Status::InvalidArgument("missing ']'");
+  skip_ws();
+  if (i != text.size()) {
+    return Status::InvalidArgument("trailing characters after ']'");
+  }
+  if (!current.empty()) buckets.push_back(std::move(current));
+  if (buckets.empty() && count == 0) {
+    return BucketOrder();  // "[]" is the empty-domain order
+  }
+  return BucketOrder::FromBuckets(count, std::move(buckets));
+}
+
+std::string FormatBucketOrders(const std::vector<BucketOrder>& orders) {
+  std::ostringstream os;
+  for (const BucketOrder& order : orders) os << order.ToString() << "\n";
+  return os.str();
+}
+
+StatusOr<std::vector<BucketOrder>> ParseBucketOrders(const std::string& text) {
+  std::vector<BucketOrder> orders;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    StatusOr<BucketOrder> order = ParseBucketOrder(line);
+    if (!order.ok()) return order.status();
+    orders.push_back(std::move(order).value());
+  }
+  return orders;
+}
+
+}  // namespace rankties

@@ -1,0 +1,24 @@
+#ifndef RANKTIES_RANK_IO_H_
+#define RANKTIES_RANK_IO_H_
+
+#include <string>
+
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Parses the textual bucket-order format produced by
+/// BucketOrder::ToString(): "[0 1 | 2 | 3 4]". Whitespace is flexible;
+/// element ids must cover 0..n-1 exactly. Fails on malformed input.
+StatusOr<BucketOrder> ParseBucketOrder(const std::string& text);
+
+/// Serializes one bucket order per line; `ParseBucketOrders` reads it back.
+std::string FormatBucketOrders(const std::vector<BucketOrder>& orders);
+
+/// Parses one bucket order per non-empty line.
+StatusOr<std::vector<BucketOrder>> ParseBucketOrders(const std::string& text);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_RANK_IO_H_

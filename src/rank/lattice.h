@@ -1,0 +1,33 @@
+#ifndef RANKTIES_RANK_LATTICE_H_
+#define RANKTIES_RANK_LATTICE_H_
+
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Lattice-style operations on bucket orders under the refinement relation
+/// (paper §2). Bucket orders do not form a lattice — two orders with a
+/// discordant pair have no common refinement at all — but both bounds
+/// below are well-defined whenever they exist, and useful: the meet is the
+/// canonical "merge two compatible orderings" operation, the join is the
+/// consensus coarsening ("what do these two rankings agree on?").
+
+/// The coarsest common refinement (meet): the bucket order with the fewest
+/// buckets that refines both sigma and tau — ties exactly the pairs tied
+/// in *both*. Exists iff sigma and tau have no discordant pair; fails with
+/// kFailedPrecondition otherwise. O(n log n).
+StatusOr<BucketOrder> CoarsestCommonRefinement(const BucketOrder& sigma,
+                                               const BucketOrder& tau);
+
+/// The finest common coarsening (join): the bucket order with the most
+/// buckets that both sigma and tau refine. Always exists (the single
+/// bucket coarsens everything). Its buckets are the minimal "agreement
+/// intervals": a boundary survives exactly where both orders place a
+/// boundary around the same prefix set. O(n log n).
+BucketOrder FinestCommonCoarsening(const BucketOrder& sigma,
+                                   const BucketOrder& tau);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_RANK_LATTICE_H_

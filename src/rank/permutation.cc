@@ -1,0 +1,88 @@
+#include "rank/permutation.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace rankties {
+
+Permutation::Permutation(std::size_t n) : ranks_(n), order_(n) {
+  std::iota(ranks_.begin(), ranks_.end(), 0);
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+namespace {
+
+// Checks that `v` is a bijection of {0..n-1}; fills `inverse`.
+Status InvertBijection(const std::vector<ElementId>& v,
+                       std::vector<ElementId>* inverse) {
+  const std::size_t n = v.size();
+  inverse->assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ElementId x = v[i];
+    if (x < 0 || static_cast<std::size_t>(x) >= n) {
+      return Status::InvalidArgument("entry out of range [0, n)");
+    }
+    if ((*inverse)[static_cast<std::size_t>(x)] != -1) {
+      return Status::InvalidArgument("duplicate entry; not a permutation");
+    }
+    (*inverse)[static_cast<std::size_t>(x)] = static_cast<ElementId>(i);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Permutation> Permutation::FromRanks(std::vector<ElementId> ranks) {
+  std::vector<ElementId> order;
+  Status s = InvertBijection(ranks, &order);
+  if (!s.ok()) return s;
+  return Permutation(std::move(ranks), std::move(order));
+}
+
+StatusOr<Permutation> Permutation::FromOrder(
+    const std::vector<ElementId>& order) {
+  std::vector<ElementId> ranks;
+  Status s = InvertBijection(order, &ranks);
+  if (!s.ok()) return s;
+  return Permutation(std::move(ranks), order);
+}
+
+Permutation Permutation::Random(std::size_t n, Rng& rng) {
+  Permutation p(n);
+  rng.Shuffle(p.order_);
+  for (std::size_t r = 0; r < n; ++r) {
+    p.ranks_[static_cast<std::size_t>(p.order_[r])] =
+        static_cast<ElementId>(r);
+  }
+  return p;
+}
+
+Permutation Permutation::Reverse() const {
+  const std::size_t n = ranks_.size();
+  Permutation p(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    p.ranks_[e] = static_cast<ElementId>(n - 1) - ranks_[e];
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    p.order_[static_cast<std::size_t>(p.ranks_[e])] =
+        static_cast<ElementId>(e);
+  }
+  return p;
+}
+
+Permutation Permutation::Inverse() const {
+  return Permutation(order_, ranks_);
+}
+
+std::string Permutation::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t r = 0; r < order_.size(); ++r) {
+    if (r > 0) os << " ";
+    os << order_[r];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace rankties

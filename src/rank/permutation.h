@@ -1,0 +1,74 @@
+#ifndef RANKTIES_RANK_PERMUTATION_H_
+#define RANKTIES_RANK_PERMUTATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rank/element.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// A full ranking (linear order) of the domain {0..n-1}.
+///
+/// Stored as the rank vector: `Rank(e)` is the 0-based position of element
+/// `e` (0 = best / first). The paper's 1-based ranking sigma(e) is
+/// `Rank(e) + 1`; bucket-order positions use that convention.
+class Permutation {
+ public:
+  /// The identity permutation (element e at rank e). n may be 0.
+  explicit Permutation(std::size_t n);
+
+  /// Builds from a rank vector: `ranks[e]` = rank of element e.
+  /// Fails unless `ranks` is a bijection onto 0..n-1.
+  static StatusOr<Permutation> FromRanks(std::vector<ElementId> ranks);
+
+  /// Builds from an order vector: `order[r]` = element at rank r.
+  /// Fails unless `order` is a bijection onto 0..n-1.
+  static StatusOr<Permutation> FromOrder(const std::vector<ElementId>& order);
+
+  /// Uniformly random permutation of n elements.
+  static Permutation Random(std::size_t n, Rng& rng);
+
+  std::size_t n() const { return ranks_.size(); }
+
+  /// Rank of element `e`, 0-based.
+  ElementId Rank(ElementId e) const { return ranks_[static_cast<size_t>(e)]; }
+
+  /// Element at rank `r`, 0-based (inverse lookup, O(1)).
+  ElementId At(ElementId r) const { return order_[static_cast<size_t>(r)]; }
+
+  /// The element order, best first.
+  const std::vector<ElementId>& order() const { return order_; }
+  /// The rank vector indexed by element.
+  const std::vector<ElementId>& ranks() const { return ranks_; }
+
+  /// The reversed ranking (worst becomes best).
+  Permutation Reverse() const;
+
+  /// The inverse permutation viewed as a map on ranks.
+  Permutation Inverse() const;
+
+  /// Returns true if `a` is ranked ahead of `b`.
+  bool Ahead(ElementId a, ElementId b) const { return Rank(a) < Rank(b); }
+
+  /// "(2 0 1)": elements listed best-first.
+  std::string ToString() const;
+
+  friend bool operator==(const Permutation& a, const Permutation& b) {
+    return a.ranks_ == b.ranks_;
+  }
+
+ private:
+  Permutation(std::vector<ElementId> ranks, std::vector<ElementId> order)
+      : ranks_(std::move(ranks)), order_(std::move(order)) {}
+
+  std::vector<ElementId> ranks_;  // element -> rank
+  std::vector<ElementId> order_;  // rank -> element
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_RANK_PERMUTATION_H_

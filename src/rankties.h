@@ -1,0 +1,77 @@
+#ifndef RANKTIES_RANKTIES_H_
+#define RANKTIES_RANKTIES_H_
+
+/// \file
+/// Umbrella header for rankties — a C++20 library reproducing
+/// "Comparing and Aggregating Rankings with Ties" (Fagin, Kumar, Mahdian,
+/// Sivakumar, Vee; PODS 2004).
+///
+/// Quick map:
+///  * rank/bucket_order.h      — the partial-ranking type
+///  * core/profile_metrics.h   — K^(p) / Kprof               (paper §3.1)
+///  * core/footrule.h          — Fprof, footrule, F^(l)      (paper §3.1)
+///  * core/hausdorff.h         — KHaus / FHaus               (paper §3.2/§4)
+///  * core/median_rank.h       — median aggregation          (paper §6)
+///  * core/optimal_bucketing.h — the f-dagger DP             (paper A.6.4)
+///  * access/medrank_engine.h  — database-friendly top-k     (paper §6)
+///  * db/query.h               — preference queries over tables
+
+#include "access/access_model.h"
+#include "access/bidirectional.h"
+#include "access/lower_bound.h"
+#include "access/medrank_engine.h"
+#include "access/medrank_stream.h"
+#include "access/nra_median.h"
+#include "access/ta_median.h"
+#include "core/best_input.h"
+#include "core/borda.h"
+#include "core/condorcet.h"
+#include "core/consolidation.h"
+#include "core/correlation.h"
+#include "core/cost.h"
+#include "core/footrule.h"
+#include "core/footrule_matching.h"
+#include "core/hausdorff.h"
+#include "core/kemeny.h"
+#include "core/kemeny_bnb.h"
+#include "core/kendall.h"
+#include "core/local_kemenization.h"
+#include "core/markov_chain.h"
+#include "core/median_rank.h"
+#include "core/metric_registry.h"
+#include "core/near_metric.h"
+#include "core/normalization.h"
+#include "core/online_median.h"
+#include "core/optimal_bucketing.h"
+#include "core/pair_counts.h"
+#include "core/weighted.h"
+#include "core/profile_metrics.h"
+#include "core/refinement_extremes.h"
+#include "core/toplist_fusion.h"
+#include "db/column_index.h"
+#include "db/indexed_catalog.h"
+#include "db/query.h"
+#include "db/query_parser.h"
+#include "db/schema.h"
+#include "db/similarity.h"
+#include "db/table.h"
+#include "db/value.h"
+#include "gen/datasets.h"
+#include "gen/evaluation.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "gen/zipf.h"
+#include "rank/active_domain.h"
+#include "rank/bucket_order.h"
+#include "rank/conversions.h"
+#include "rank/io.h"
+#include "rank/lattice.h"
+#include "rank/permutation.h"
+#include "rank/refinement.h"
+#include "util/combinatorics.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+#endif  // RANKTIES_RANKTIES_H_

@@ -1,0 +1,84 @@
+#include "util/combinatorics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace rankties {
+
+std::vector<std::size_t> CompositionFromMask(std::size_t n,
+                                             std::uint64_t mask) {
+  assert(n >= 1);
+  assert(n == 1 || mask < (1ULL << (n - 1)));
+  std::vector<std::size_t> parts;
+  std::size_t run = 1;
+  for (std::size_t r = 0; r + 1 < n; ++r) {
+    if (mask & (1ULL << r)) {
+      parts.push_back(run);
+      run = 1;
+    } else {
+      ++run;
+    }
+  }
+  parts.push_back(run);
+  return parts;
+}
+
+void ForEachComposition(
+    std::size_t n,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  if (n == 0) return;
+  const std::uint64_t masks = n == 1 ? 1 : (1ULL << (n - 1));
+  for (std::uint64_t mask = 0; mask < masks; ++mask) {
+    if (!visit(CompositionFromMask(n, mask))) return;
+  }
+}
+
+std::uint64_t NumCompositions(std::size_t n) {
+  return n == 0 ? 1 : (1ULL << (n - 1));
+}
+
+std::int64_t Factorial(std::size_t n) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  std::int64_t result = 1;
+  for (std::size_t f = 2; f <= n; ++f) {
+    if (result > kMax / static_cast<std::int64_t>(f)) return kMax;
+    result *= static_cast<std::int64_t>(f);
+  }
+  return result;
+}
+
+std::int64_t Binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::int64_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    result = result * static_cast<std::int64_t>(n - k + i) /
+             static_cast<std::int64_t>(i);
+  }
+  return result;
+}
+
+std::int64_t FubiniNumber(std::size_t n) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  // a(n) = sum_{k=1..n} C(n,k) a(n-k); a(0) = 1.
+  std::vector<std::int64_t> a(n + 1, 0);
+  a[0] = 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    long double accumulator = 0;
+    for (std::size_t k = 1; k <= i; ++k) {
+      accumulator += static_cast<long double>(Binomial(i, k)) *
+                     static_cast<long double>(a[i - k]);
+    }
+    if (accumulator >= static_cast<long double>(kMax)) {
+      a[i] = kMax;
+    } else {
+      std::int64_t sum = 0;
+      for (std::size_t k = 1; k <= i; ++k) sum += Binomial(i, k) * a[i - k];
+      a[i] = sum;
+    }
+  }
+  return a[n];
+}
+
+}  // namespace rankties

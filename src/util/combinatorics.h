@@ -1,0 +1,42 @@
+#ifndef RANKTIES_UTIL_COMBINATORICS_H_
+#define RANKTIES_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rankties {
+
+/// Small combinatorial helpers shared by the brute-force oracles (optimal
+/// bucketing, typed optima, tests): a composition of n — an ordered list
+/// of positive parts summing to n — is exactly a bucket-order *type*
+/// (paper A.1), and there are 2^(n-1) of them.
+
+/// The composition encoded by `mask` over n elements: bit r set means a
+/// part boundary after position r+1. mask must be < 2^(n-1); n >= 1.
+std::vector<std::size_t> CompositionFromMask(std::size_t n,
+                                             std::uint64_t mask);
+
+/// Invokes `visit` for every composition of n (all 2^(n-1)); stops early
+/// if `visit` returns false. Intended for n <= ~24.
+void ForEachComposition(
+    std::size_t n,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// Number of compositions of n: 2^(n-1) (1 for n = 0 by convention).
+std::uint64_t NumCompositions(std::size_t n);
+
+/// n! as int64; saturates at INT64_MAX for n > 20.
+std::int64_t Factorial(std::size_t n);
+
+/// Binomial coefficient C(n, k) as int64 (exact for the small arguments
+/// the library uses; no overflow guard beyond 64-bit arithmetic order).
+std::int64_t Binomial(std::size_t n, std::size_t k);
+
+/// The number of bucket orders on n elements (ordered set partitions /
+/// Fubini numbers): 1, 1, 3, 13, 75, 541, ... Saturates at INT64_MAX.
+std::int64_t FubiniNumber(std::size_t n);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_UTIL_COMBINATORICS_H_

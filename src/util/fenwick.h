@@ -1,0 +1,59 @@
+#ifndef RANKTIES_UTIL_FENWICK_H_
+#define RANKTIES_UTIL_FENWICK_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace rankties {
+
+/// A Fenwick (binary indexed) tree over `size` slots supporting point update
+/// and prefix-sum query in O(log n). Used by the pair-classification engine
+/// to count discordant pairs (inversions) between partial rankings.
+template <typename T>
+class Fenwick {
+ public:
+  /// Creates a tree with `size` zero-initialized slots (indices 0..size-1).
+  explicit Fenwick(std::size_t size) : tree_(size + 1, T{}) {}
+
+  std::size_t size() const { return tree_.size() - 1; }
+
+  /// Adds `delta` to slot `index`.
+  void Add(std::size_t index, T delta) {
+    assert(index < size());
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Returns the sum of slots [0, index] inclusive.
+  T PrefixSum(std::size_t index) const {
+    assert(index < size());
+    T sum{};
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  /// Returns the sum of all slots.
+  T Total() const { return size() == 0 ? T{} : PrefixSum(size() - 1); }
+
+  /// Returns the sum of slots [lo, hi] inclusive; zero when lo > hi.
+  T RangeSum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return T{};
+    T sum = PrefixSum(hi);
+    if (lo > 0) sum -= PrefixSum(lo - 1);
+    return sum;
+  }
+
+  /// Resets all slots to zero without reallocating.
+  void Clear() { std::fill(tree_.begin(), tree_.end(), T{}); }
+
+ private:
+  std::vector<T> tree_;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_UTIL_FENWICK_H_

@@ -1,0 +1,5 @@
+#include "util/rng.h"
+
+// Rng is header-only today; this translation unit anchors the library and
+// keeps a stable home for future out-of-line additions.
+namespace rankties {}

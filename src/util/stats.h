@@ -1,0 +1,49 @@
+#ifndef RANKTIES_UTIL_STATS_H_
+#define RANKTIES_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rankties {
+
+/// Aggregate descriptive statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  double median = 0.0;
+  double p90 = 0.0;  ///< 90th percentile (nearest-rank).
+
+  /// One-line rendering, e.g. "n=100 min=0.1 med=0.5 mean=0.52 p90=0.9 max=1".
+  std::string ToString() const;
+};
+
+/// Computes the summary of `values`; all-zero summary for an empty sample.
+Summary Summarize(const std::vector<double>& values);
+
+/// Nearest-rank percentile of `values` (q in [0,1]); `values` need not be
+/// sorted. Returns 0 for an empty sample.
+double Percentile(std::vector<double> values, double q);
+
+/// Streaming mean/min/max accumulator for cheap online aggregation.
+class OnlineStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_UTIL_STATS_H_

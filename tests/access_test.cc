@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "access/access_model.h"
+#include "access/bidirectional.h"
+#include "access/lower_bound.h"
+#include "access/medrank_engine.h"
+#include "core/median_rank.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "rank/conversions.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(BucketOrderSourceTest, YieldsElementsInRankOrder) {
+  auto order = BucketOrder::FromBuckets(5, {{3}, {0, 4}, {1, 2}});
+  ASSERT_TRUE(order.ok());
+  BucketOrderSource source(*order);
+  std::vector<ElementId> seen;
+  std::vector<std::int64_t> positions;
+  while (auto access = source.Next()) {
+    seen.push_back(access->element);
+    positions.push_back(access->twice_position);
+  }
+  EXPECT_EQ(seen, (std::vector<ElementId>{3, 0, 4, 1, 2}));
+  EXPECT_EQ(positions, (std::vector<std::int64_t>{2, 5, 5, 9, 9}));
+  EXPECT_EQ(source.accesses(), 5);
+  EXPECT_FALSE(source.Next().has_value());
+  source.Reset();
+  EXPECT_EQ(source.accesses(), 0);
+  EXPECT_EQ(source.Next()->element, 3);
+}
+
+TEST(MedrankTest, Top1IsAMajorityElement) {
+  // Element 7 is ranked first by 2 of 3 voters.
+  Rng rng(1);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 3; ++i) {
+    Permutation p = Permutation::Random(10, rng);
+    inputs.push_back(BucketOrder::FromPermutation(p));
+  }
+  auto result = MedrankTopK(inputs, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->winners.size(), 1u);
+  EXPECT_GT(result->total_accesses, 0);
+}
+
+TEST(MedrankTest, WinnersHaveSmallMedians) {
+  // MEDRANK winners are exactly elements with small median rank: the first
+  // winner's (lower) median position is minimal across the domain.
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    const std::size_t m = 3 + 2 * static_cast<std::size_t>(trial % 3);
+    for (std::size_t i = 0; i < m; ++i) {
+      inputs.push_back(RandomBucketOrder(12, rng));
+    }
+    auto result = MedrankTopK(inputs, 1);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->winners.size(), 1u);
+    // No element's certification depth can beat the winner's: verify the
+    // winner minimizes the (majority)-th smallest *access depth*.
+    const std::size_t majority = m / 2 + 1;
+    auto cert_depth = [&](ElementId e) {
+      std::vector<std::int64_t> depths;
+      for (const BucketOrder& input : inputs) {
+        depths.push_back(AccessDepth(input, e));
+      }
+      std::sort(depths.begin(), depths.end());
+      return depths[majority - 1];
+    };
+    const std::int64_t winner_depth = cert_depth(result->winners[0]);
+    for (ElementId e = 0; e < 12; ++e) {
+      EXPECT_GE(cert_depth(e), winner_depth) << "element " << e;
+    }
+  }
+}
+
+TEST(MedrankTest, TopKReturnsKDistinctWinners) {
+  Rng rng(3);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(RandomBucketOrder(20, rng));
+  auto result = MedrankTopK(inputs, 6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->winners.size(), 6u);
+  std::set<ElementId> unique(result->winners.begin(), result->winners.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(MedrankTest, ReadsFarLessThanEverythingOnCorrelatedInputs) {
+  // With strongly correlated voters the winner surfaces immediately;
+  // accesses should be a tiny fraction of m*n.
+  Rng rng(4);
+  const std::size_t n = 500;
+  const Permutation center(n);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(
+        BucketOrder::FromPermutation(MallowsSample(center, 0.3, rng)));
+  }
+  auto result = MedrankTopK(inputs, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->total_accesses,
+            static_cast<std::int64_t>(n));  // sublinear in m*n = 2500
+}
+
+TEST(MedrankTest, ValidatesInputs) {
+  EXPECT_FALSE(MedrankTopK(std::vector<BucketOrder>{}, 1).ok());
+  std::vector<BucketOrder> mixed = {BucketOrder::SingleBucket(3),
+                                    BucketOrder::SingleBucket(5)};
+  EXPECT_FALSE(MedrankTopK(mixed, 1).ok());
+  std::vector<BucketOrder> ok_inputs = {BucketOrder::SingleBucket(3)};
+  EXPECT_FALSE(MedrankTopK(ok_inputs, 7).ok());
+  auto empty_k = MedrankTopK(ok_inputs, 0);
+  ASSERT_TRUE(empty_k.ok());
+  EXPECT_TRUE(empty_k->winners.empty());
+  EXPECT_EQ(empty_k->total_accesses, 0);
+}
+
+TEST(MedrankTest, AgreesWithOfflineMedianOnFullInputs) {
+  // For full-ranking inputs with odd m and a unique best median, the first
+  // MEDRANK winner matches the offline median aggregation's top element.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 5; ++i) {
+      inputs.push_back(
+          BucketOrder::FromPermutation(Permutation::Random(15, rng)));
+    }
+    auto offline = MedianRankScoresQuad(inputs, MedianPolicy::kLower);
+    auto online = MedrankTopK(inputs, 1);
+    ASSERT_TRUE(offline.ok() && online.ok());
+    const std::int64_t winner_median =
+        (*offline)[static_cast<std::size_t>(online->winners[0])];
+    const std::int64_t best_median =
+        *std::min_element(offline->begin(), offline->end());
+    EXPECT_EQ(winner_median, best_median);
+  }
+}
+
+TEST(LowerBoundTest, AccessDepthMatchesSourceOrder) {
+  auto order = BucketOrder::FromBuckets(5, {{3}, {0, 4}, {1, 2}});
+  ASSERT_TRUE(order.ok());
+  BucketOrderSource source(*order);
+  std::int64_t depth = 0;
+  while (auto access = source.Next()) {
+    ++depth;
+    EXPECT_EQ(AccessDepth(*order, access->element), depth);
+  }
+}
+
+TEST(LowerBoundTest, BoundNeverExceedsActualAccesses) {
+  Rng rng(6);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<BucketOrder> inputs;
+    const std::size_t m = 3 + static_cast<std::size_t>(trial % 4);
+    for (std::size_t i = 0; i < m; ++i) {
+      inputs.push_back(RandomBucketOrder(30, rng));
+    }
+    auto result = MedrankTopK(inputs, 3);
+    ASSERT_TRUE(result.ok());
+    const std::int64_t bound = CertificateLowerBound(inputs, result->winners);
+    EXPECT_LE(bound, result->total_accesses);
+    EXPECT_GT(bound, 0);
+  }
+}
+
+TEST(BidirectionalCursorTest, YieldsNondecreasingDistance) {
+  const std::vector<double> values = {5.0, 1.0, 9.0, 4.0, 4.0, 7.0};
+  BidirectionalCursor cursor(values, 4.5);
+  double last = -1;
+  std::size_t count = 0;
+  while (auto access = cursor.Next()) {
+    const double d = std::abs(values[static_cast<std::size_t>(
+                         access->element)] -
+                     4.5);
+    EXPECT_GE(d, last);
+    last = d;
+    ++count;
+  }
+  EXPECT_EQ(count, values.size());
+}
+
+TEST(BidirectionalCursorTest, TiesShareDoubledPositions) {
+  // Query 4.0: elements with value 4 (ids 3,4) tie at distance 0.
+  const std::vector<double> values = {5.0, 1.0, 9.0, 4.0, 4.0, 3.0};
+  BidirectionalCursor cursor(values, 4.0);
+  auto a = cursor.Next();
+  auto b = cursor.Next();
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->twice_position, b->twice_position);
+  EXPECT_EQ(a->twice_position, 3);  // bucket of size 2 at front: pos 1.5
+}
+
+TEST(BidirectionalCursorTest, MatchesRankByDistanceBucketOrder) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> values(20);
+    for (double& v : values) {
+      v = static_cast<double>(rng.UniformInt(0, 9));  // heavy ties
+    }
+    const double query = static_cast<double>(rng.UniformInt(0, 9)) + 0.25;
+    auto expected = RankByDistance(values, query, 0);
+    ASSERT_TRUE(expected.ok());
+    BidirectionalCursor cursor(values, query);
+    while (auto access = cursor.Next()) {
+      EXPECT_EQ(access->twice_position,
+                expected->TwicePosition(access->element));
+    }
+  }
+}
+
+TEST(BidirectionalCursorTest, WorksAsMedrankSource) {
+  // Three numeric attributes, three queries: medrank over bidirectional
+  // cursors finds a sensible consensus element.
+  const std::vector<double> price = {10, 20, 30, 40, 50};
+  const std::vector<double> dist = {5, 4, 3, 2, 1};
+  const std::vector<double> rating = {3, 4, 5, 4, 3};
+  std::vector<std::unique_ptr<SortedAccessSource>> sources;
+  sources.push_back(std::make_unique<BidirectionalCursor>(price, 30));
+  sources.push_back(std::make_unique<BidirectionalCursor>(dist, 3));
+  sources.push_back(std::make_unique<BidirectionalCursor>(rating, 5));
+  auto result = MedrankTopK(sources, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->winners.size(), 1u);
+  EXPECT_EQ(result->winners[0], 2);  // element 2 is best on all three
+}
+
+}  // namespace
+}  // namespace rankties

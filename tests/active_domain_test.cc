@@ -1,0 +1,103 @@
+#include "rank/active_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/footrule.h"
+#include "core/profile_metrics.h"
+
+namespace rankties {
+namespace {
+
+TEST(ActiveDomainTest, DisjointLists) {
+  auto aligned = AlignTopKLists({100, 200}, {300, 400});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(aligned->items.size(), 4u);
+  EXPECT_EQ(aligned->sigma.n(), 4u);
+  // First list: items 100, 200 as singletons; 300, 400 in its bottom.
+  EXPECT_TRUE(aligned->sigma.IsTopK(2));
+  EXPECT_TRUE(aligned->tau.IsTopK(2));
+  // Dense id of 100 is 0 (first appearance), of 300 is 2.
+  EXPECT_EQ(aligned->items[0], 100);
+  EXPECT_EQ(aligned->sigma.BucketOf(0), 0);
+  EXPECT_EQ(aligned->tau.BucketOf(2), 0);
+}
+
+TEST(ActiveDomainTest, OverlappingLists) {
+  // Shared item 7 at different ranks.
+  auto aligned = AlignTopKLists({7, 8, 9}, {9, 7});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(aligned->items.size(), 3u);  // {7, 8, 9}
+  // tau: 9 first, 7 second, 8 in bottom bucket (singleton bottom).
+  const ElementId id7 = 0, id8 = 1, id9 = 2;
+  EXPECT_TRUE(aligned->tau.Ahead(id9, id7));
+  EXPECT_TRUE(aligned->tau.Ahead(id7, id8));
+  EXPECT_TRUE(aligned->sigma.Ahead(id7, id8));
+  EXPECT_TRUE(aligned->sigma.Ahead(id8, id9));
+}
+
+TEST(ActiveDomainTest, IdenticalListsHaveZeroDistance) {
+  auto aligned = AlignTopKLists({5, 6, 7}, {5, 6, 7});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(aligned->items.size(), 3u);
+  EXPECT_EQ(TwiceKprof(aligned->sigma, aligned->tau), 0);
+  EXPECT_EQ(TwiceFprof(aligned->sigma, aligned->tau), 0);
+  EXPECT_TRUE(aligned->sigma.IsFull());  // no bottom bucket needed
+}
+
+TEST(ActiveDomainTest, Validation) {
+  EXPECT_FALSE(AlignTopKLists({}, {}).ok());
+  EXPECT_FALSE(AlignTopKLists({1, 1}, {2}).ok());  // duplicate
+  EXPECT_TRUE(AlignTopKLists({1}, {}).ok());       // one empty is fine
+}
+
+TEST(ActiveDomainTest, ReversedListsMaximizeDiscordance) {
+  auto aligned = AlignTopKLists({1, 2, 3, 4}, {4, 3, 2, 1});
+  ASSERT_TRUE(aligned.ok());
+  // Both lists are full over the active domain; distance = max Kendall.
+  EXPECT_EQ(TwiceKprof(aligned->sigma, aligned->tau), 2 * 6);
+}
+
+TEST(ActiveDomainTest, MetricsOnAlignedListsSatisfyTheorem7) {
+  auto aligned = AlignTopKLists({10, 20, 30}, {30, 40, 50});
+  ASSERT_TRUE(aligned.ok());
+  const std::int64_t twice_kprof = TwiceKprof(aligned->sigma, aligned->tau);
+  const std::int64_t twice_fprof = TwiceFprof(aligned->sigma, aligned->tau);
+  EXPECT_LE(twice_kprof, twice_fprof);
+  EXPECT_LE(twice_fprof, 2 * twice_kprof);
+}
+
+TEST(ActiveDomainTest, ManyListsShareOneDomain) {
+  auto aligned = AlignManyTopKLists({{10, 20}, {20, 30}, {40}});
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(aligned->items.size(), 4u);  // {10, 20, 30, 40}
+  ASSERT_EQ(aligned->orders.size(), 3u);
+  for (const BucketOrder& order : aligned->orders) {
+    EXPECT_EQ(order.n(), 4u);
+  }
+  // List 0: 10 then 20, bottom {30, 40}.
+  EXPECT_TRUE(aligned->orders[0].IsTopK(2));
+  EXPECT_TRUE(aligned->orders[0].Ahead(0, 1));
+  EXPECT_TRUE(aligned->orders[0].Tied(2, 3));
+  // List 2 returned only item 40 (dense id 3).
+  EXPECT_TRUE(aligned->orders[2].IsTopK(1));
+  EXPECT_EQ(aligned->orders[2].BucketOf(3), 0);
+}
+
+TEST(ActiveDomainTest, ManyListsValidation) {
+  EXPECT_FALSE(AlignManyTopKLists({}).ok());
+  EXPECT_FALSE(AlignManyTopKLists({{}, {}}).ok());
+  EXPECT_FALSE(AlignManyTopKLists({{1, 1}}).ok());
+  EXPECT_TRUE(AlignManyTopKLists({{1}, {}}).ok());  // one empty list is fine
+}
+
+TEST(ActiveDomainTest, PairwiseAndManyAgree) {
+  auto pair = AlignTopKLists({7, 8}, {9, 8});
+  auto many = AlignManyTopKLists({{7, 8}, {9, 8}});
+  ASSERT_TRUE(pair.ok() && many.ok());
+  EXPECT_EQ(pair->items, many->items);
+  EXPECT_EQ(pair->sigma, many->orders[0]);
+  EXPECT_EQ(pair->tau, many->orders[1]);
+}
+
+}  // namespace
+}  // namespace rankties

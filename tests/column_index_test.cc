@@ -1,0 +1,130 @@
+#include "db/column_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "access/medrank_engine.h"
+#include "gen/datasets.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+Table SmallTable() {
+  Table table(Schema({{"x", ColumnType::kNumeric}}));
+  for (double v : {5.0, 1.0, 9.0, 4.0, 4.0, 7.0}) {
+    EXPECT_TRUE(table.AddRow({Value(v)}).ok());
+  }
+  return table;
+}
+
+std::vector<SortedAccess> Drain(SortedAccessSource& source) {
+  std::vector<SortedAccess> out;
+  while (auto access = source.Next()) out.push_back(*access);
+  return out;
+}
+
+TEST(ColumnIndexTest, BuildValidation) {
+  Table table(Schema({{"c", ColumnType::kCategorical}}));
+  EXPECT_FALSE(ColumnIndex::Build(table, "c").ok());
+  EXPECT_FALSE(ColumnIndex::Build(table, "nope").ok());
+}
+
+TEST(ColumnIndexTest, AscendingMatchesTableRank) {
+  const Table table = SmallTable();
+  auto index = ColumnIndex::Build(table, "x");
+  ASSERT_TRUE(index.ok());
+  auto expected = table.RankAscending("x");
+  ASSERT_TRUE(expected.ok());
+  auto source = index->Ascending();
+  for (const SortedAccess& access : Drain(*source)) {
+    EXPECT_EQ(access.twice_position, expected->TwicePosition(access.element));
+  }
+}
+
+TEST(ColumnIndexTest, DescendingMatchesTableRank) {
+  const Table table = SmallTable();
+  auto index = ColumnIndex::Build(table, "x");
+  ASSERT_TRUE(index.ok());
+  auto expected = table.RankDescending("x");
+  ASSERT_TRUE(expected.ok());
+  auto source = index->Descending();
+  for (const SortedAccess& access : Drain(*source)) {
+    EXPECT_EQ(access.twice_position, expected->TwicePosition(access.element));
+  }
+}
+
+TEST(ColumnIndexTest, NearestMatchesTableRankNear) {
+  Rng rng(1);
+  const Table table = MakeFlightTable(300, rng);
+  auto index = ColumnIndex::Build(table, "departure_hour");
+  ASSERT_TRUE(index.ok());
+  for (double target : {0.0, 9.0, 13.5, 23.0}) {
+    auto expected = table.RankNear("departure_hour", target, 0);
+    ASSERT_TRUE(expected.ok());
+    auto source = index->Nearest(target);
+    std::size_t count = 0;
+    for (const SortedAccess& access : Drain(*source)) {
+      EXPECT_EQ(access.twice_position,
+                expected->TwicePosition(access.element))
+          << "target " << target;
+      ++count;
+    }
+    EXPECT_EQ(count, table.num_rows());
+  }
+}
+
+TEST(ColumnIndexTest, GranularityBandsMatchQuantizedRanks) {
+  Rng rng(2);
+  const Table table = MakeRestaurantTable(200, rng);
+  auto index = ColumnIndex::Build(table, "distance_miles");
+  ASSERT_TRUE(index.ok());
+  auto expected = table.RankAscending("distance_miles", 10.0);
+  ASSERT_TRUE(expected.ok());
+  auto source = index->Ascending(10.0);
+  for (const SortedAccess& access : Drain(*source)) {
+    EXPECT_EQ(access.twice_position, expected->TwicePosition(access.element));
+  }
+}
+
+TEST(ColumnIndexTest, RangeLookup) {
+  const Table table = SmallTable();
+  auto index = ColumnIndex::Build(table, "x");
+  ASSERT_TRUE(index.ok());
+  std::vector<ElementId> rows = index->RangeLookup(4.0, 7.0);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<ElementId>{0, 3, 4, 5}));  // 5, 4, 4, 7
+  EXPECT_TRUE(index->RangeLookup(100, 200).empty());
+}
+
+TEST(ColumnIndexTest, IndexedSourcesDriveMedrank) {
+  // The [11] architecture: persistent per-attribute indexes, per-query
+  // cursors, no re-sorting — winner agrees with the table-sort path.
+  Rng rng(3);
+  const Table table = MakeFlightTable(500, rng);
+  auto price = ColumnIndex::Build(table, "price_usd");
+  auto connections = ColumnIndex::Build(table, "connections");
+  auto departure = ColumnIndex::Build(table, "departure_hour");
+  ASSERT_TRUE(price.ok() && connections.ok() && departure.ok());
+
+  std::vector<std::unique_ptr<SortedAccessSource>> sources;
+  sources.push_back(price->Ascending(50.0));
+  sources.push_back(connections->Ascending());
+  sources.push_back(departure->Nearest(9.0, 2.0));
+  auto indexed = MedrankTopK(sources, 3);
+  ASSERT_TRUE(indexed.ok());
+
+  std::vector<BucketOrder> rankings = {
+      table.RankAscending("price_usd", 50.0).value(),
+      table.RankAscending("connections").value(),
+      table.RankNear("departure_hour", 9.0, 2.0).value(),
+  };
+  auto direct = MedrankTopK(rankings, 3);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(indexed->winners, direct->winners);
+  EXPECT_EQ(indexed->total_accesses, direct->total_accesses);
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,170 @@
+#include "core/consolidation.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "core/cost.h"
+#include "core/footrule.h"
+#include "core/optimal_bucketing.h"
+#include "gen/random_orders.h"
+#include "rank/refinement.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+std::vector<std::int64_t> RandomQuad(std::size_t n, Rng& rng) {
+  std::vector<std::int64_t> scores(n);
+  for (auto& s : scores) s = 2 * rng.UniformInt(1, 2 * static_cast<std::int64_t>(n));
+  return scores;
+}
+
+// Lemma 27: the order-preserving assignment is L1-optimal among ALL
+// type-alpha partial rankings, including ones scrambling the elements.
+// Verified against exhaustive enumeration of element assignments.
+TEST(ConsolidationTest, Lemma27OrderPreservingIsOptimal) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5;
+    const std::vector<std::int64_t> scores = RandomQuad(n, rng);
+    const std::vector<std::size_t> alpha = RandomType(n, rng);
+    auto ours = ConsolidateToType(scores, alpha);
+    ASSERT_TRUE(ours.ok());
+    EXPECT_EQ(ours->order.Type(), alpha);
+
+    // Enumerate every assignment of elements to the alpha slots (all
+    // permutations of the domain, bucketed by alpha in order).
+    std::vector<ElementId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    do {
+      std::vector<BucketIndex> bucket_of(n);
+      std::size_t at = 0;
+      for (std::size_t b = 0; b < alpha.size(); ++b) {
+        for (std::size_t i = 0; i < alpha[b]; ++i, ++at) {
+          bucket_of[static_cast<std::size_t>(perm[at])] =
+              static_cast<BucketIndex>(b);
+        }
+      }
+      auto order = BucketOrder::FromBucketIndex(bucket_of);
+      ASSERT_TRUE(order.ok());
+      std::int64_t cost = 0;
+      for (ElementId e = 0; e < static_cast<ElementId>(n); ++e) {
+        cost += std::abs(scores[static_cast<std::size_t>(e)] -
+                         2 * order->TwicePosition(e));
+      }
+      best = std::min(best, cost);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(ours->cost_quad, best) << "trial " << trial;
+  }
+}
+
+TEST(ConsolidationTest, Validation) {
+  EXPECT_FALSE(ConsolidateToType({}, {}).ok());
+  EXPECT_FALSE(ConsolidateToType({4, 8}, {1}).ok());
+  EXPECT_FALSE(ConsolidateToType({4, 8}, {0, 2}).ok());
+  EXPECT_FALSE(ProjectConsistent({4, 8}, BucketOrder::SingleBucket(3),
+                                 {2})
+                   .ok());
+}
+
+TEST(ConsolidationTest, ConsistencyWithScores) {
+  Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 8;
+    const std::vector<std::int64_t> scores = RandomQuad(n, rng);
+    const std::vector<std::size_t> alpha = RandomType(n, rng);
+    auto result = ConsolidateToType(scores, alpha);
+    ASSERT_TRUE(result.ok());
+    for (ElementId i = 0; i < static_cast<ElementId>(n); ++i) {
+      for (ElementId j = 0; j < static_cast<ElementId>(n); ++j) {
+        if (scores[static_cast<std::size_t>(i)] <
+            scores[static_cast<std::size_t>(j)]) {
+          EXPECT_FALSE(result->order.Ahead(j, i));
+        }
+      }
+    }
+  }
+}
+
+TEST(ConsolidationTest, FullTypeMatchesOptimalBucketingCostAtFullType) {
+  // Consolidating to the all-singletons type equals the best full ranking
+  // consistent with the scores.
+  Rng rng(3);
+  const std::vector<std::int64_t> scores = RandomQuad(7, rng);
+  auto full = ConsolidateToType(scores, std::vector<std::size_t>(7, 1));
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->order.IsFull());
+  // f-dagger (unconstrained) can only be cheaper.
+  auto fdagger = OptimalBucketing(scores);
+  ASSERT_TRUE(fdagger.ok());
+  EXPECT_LE(fdagger->cost_quad, full->cost_quad);
+}
+
+TEST(ConsolidationTest, ProjectConsistentHonorsBoth) {
+  // Lemma 34: the projection is consistent with sigma (no strict order of
+  // sigma flipped) and has the requested type.
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 9;
+    const std::vector<std::int64_t> scores = RandomQuad(n, rng);
+    // sigma: a consolidation of the same scores (hence consistent with f).
+    auto sigma = ConsolidateToType(scores, RandomType(n, rng));
+    ASSERT_TRUE(sigma.ok());
+    const std::vector<std::size_t> beta = RandomType(n, rng);
+    auto projected = ProjectConsistent(scores, sigma->order, beta);
+    ASSERT_TRUE(projected.ok());
+    EXPECT_EQ(projected->Type(), beta);
+    for (ElementId i = 0; i < static_cast<ElementId>(n); ++i) {
+      for (ElementId j = 0; j < static_cast<ElementId>(n); ++j) {
+        if (sigma->order.Ahead(i, j)) {
+          EXPECT_FALSE(projected->Ahead(j, i))
+              << "projection flipped a sigma order";
+        }
+      }
+    }
+  }
+}
+
+// Theorem 35 end-to-end: the strong top-k's certificate is within factor 2
+// (partial-ranking inputs: 3) of every partial ranking, and the top-k list
+// is consistent with it.
+TEST(ConsolidationTest, StrongMedianTopK) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 7;
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 5; ++i) inputs.push_back(RandomBucketOrder(n, rng));
+    auto strong = StrongMedianTopK(inputs, 3, MedianPolicy::kLower);
+    ASSERT_TRUE(strong.ok());
+    EXPECT_TRUE(strong->top_k.IsTopK(3));
+    // Certificate near-optimality (Theorem 10, factor 2 over partial
+    // rankings):
+    const std::int64_t cert_cost = TwiceTotalFprof(strong->certificate, inputs);
+    for (int g = 0; g < 50; ++g) {
+      const BucketOrder tau = RandomBucketOrder(n, rng);
+      EXPECT_LE(cert_cost, 2 * TwiceTotalFprof(tau, inputs));
+    }
+    // The top-k is consistent with the certificate.
+    for (ElementId i = 0; i < static_cast<ElementId>(n); ++i) {
+      for (ElementId j = 0; j < static_cast<ElementId>(n); ++j) {
+        if (strong->certificate.Ahead(i, j)) {
+          EXPECT_FALSE(strong->top_k.Ahead(j, i));
+        }
+      }
+    }
+  }
+}
+
+TEST(ConsolidationTest, StrongTopKValidation) {
+  std::vector<BucketOrder> inputs = {BucketOrder::SingleBucket(4)};
+  EXPECT_FALSE(StrongMedianTopK(inputs, 9).ok());
+  auto full = StrongMedianTopK(inputs, 4);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->top_k.IsFull());
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,162 @@
+#include "core/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+BucketOrder Must(StatusOr<BucketOrder> order) {
+  EXPECT_TRUE(order.ok()) << order.status();
+  return std::move(order).value();
+}
+
+TEST(TauBTest, PerfectAgreementAndReversal) {
+  Rng rng(1);
+  const Permutation p = Permutation::Random(10, rng);
+  const BucketOrder o = BucketOrder::FromPermutation(p);
+  auto same = KendallTauB(o, o);
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(*same, 1.0);
+  auto rev = KendallTauB(o, o.Reverse());
+  ASSERT_TRUE(rev.ok());
+  EXPECT_DOUBLE_EQ(*rev, -1.0);
+}
+
+TEST(TauBTest, UndefinedOnSingleBucket) {
+  const BucketOrder tied = BucketOrder::SingleBucket(5);
+  const BucketOrder full = BucketOrder::FromPermutation(Permutation(5));
+  auto result = KendallTauB(tied, full);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUndefined);
+}
+
+TEST(TauBTest, BoundedInUnitInterval) {
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BucketOrder a = RandomBucketOrder(10, rng);
+    const BucketOrder b = RandomBucketOrder(10, rng);
+    auto t = KendallTauB(a, b);
+    if (!t.ok()) continue;
+    EXPECT_GE(*t, -1.0 - 1e-12);
+    EXPECT_LE(*t, 1.0 + 1e-12);
+  }
+}
+
+TEST(GammaTest, HandValues) {
+  // sigma = [0 | 1 | 2], tau = [0 | 2 | 1]: C=2 ({0,1},{0,2}), D=1 ({1,2}).
+  const BucketOrder s = Must(BucketOrder::FromBuckets(3, {{0}, {1}, {2}}));
+  const BucketOrder t = Must(BucketOrder::FromBuckets(3, {{0}, {2}, {1}}));
+  auto gamma = GoodmanKruskalGamma(s, t);
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_DOUBLE_EQ(*gamma, (2.0 - 1.0) / 3.0);
+}
+
+TEST(GammaTest, UndefinedWhenEveryPairTiedSomewhere) {
+  // The paper's "serious disadvantage" of Goodman–Kruskal (§1 related
+  // work): with sigma tying everything, C + D = 0 and gamma has no value.
+  const BucketOrder tied = BucketOrder::SingleBucket(4);
+  const BucketOrder full = BucketOrder::FromPermutation(Permutation(4));
+  auto gamma = GoodmanKruskalGamma(tied, full);
+  EXPECT_FALSE(gamma.ok());
+  EXPECT_EQ(gamma.status().code(), StatusCode::kUndefined);
+
+  // Complementary tie patterns also kill it: every pair tied in one input.
+  const BucketOrder left = Must(BucketOrder::FromBuckets(4, {{0, 1}, {2, 3}}));
+  const BucketOrder right = Must(BucketOrder::FromBuckets(4, {{0, 2}, {1, 3}}));
+  // Pairs {0,1},{2,3} tied in left; {0,2},{1,3} tied in right; {0,3},{1,2}
+  // untied in both -> gamma IS defined here. Verify definedness logic.
+  EXPECT_TRUE(GoodmanKruskalGamma(left, right).ok());
+}
+
+TEST(GammaTest, IgnoresTiesEntirely) {
+  // Gamma only looks at untied pairs: adding agreeing ties leaves it at 1.
+  const BucketOrder a = Must(BucketOrder::FromBuckets(4, {{0}, {1, 2}, {3}}));
+  const BucketOrder b = Must(BucketOrder::FromBuckets(4, {{0}, {1}, {2}, {3}}));
+  auto gamma = GoodmanKruskalGamma(a, b);
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_DOUBLE_EQ(*gamma, 1.0);
+}
+
+TEST(SignificanceTest, StrongAgreementIsSignificant) {
+  const BucketOrder id = BucketOrder::FromPermutation(Permutation(20));
+  auto same = KendallSignificance(id, id);
+  ASSERT_TRUE(same.ok());
+  EXPECT_GT(same->z, 4.0);
+  EXPECT_LT(same->p_value, 1e-4);
+  auto rev = KendallSignificance(id, id.Reverse());
+  ASSERT_TRUE(rev.ok());
+  EXPECT_LT(rev->z, -4.0);
+  EXPECT_LT(rev->p_value, 1e-4);
+}
+
+TEST(SignificanceTest, IndependentRankingsAreUsuallyInsignificant) {
+  Rng rng(17);
+  int rejected = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const BucketOrder a =
+        BucketOrder::FromPermutation(Permutation::Random(15, rng));
+    const BucketOrder b =
+        BucketOrder::FromPermutation(Permutation::Random(15, rng));
+    auto result = KendallSignificance(a, b);
+    ASSERT_TRUE(result.ok());
+    if (result->p_value < 0.05) ++rejected;
+  }
+  // ~5% false positives expected; allow generous slack.
+  EXPECT_LT(rejected, 15);
+}
+
+TEST(SignificanceTest, TiesShrinkTheStatistic) {
+  // Coarsening one side can only reduce |C - D|, hence |z| (conservative).
+  const BucketOrder id = BucketOrder::FromPermutation(Permutation(12));
+  const BucketOrder coarse = BucketOrder::TopKOf(Permutation(12), 3);
+  auto fine = KendallSignificance(id, id);
+  auto tied = KendallSignificance(id, coarse);
+  ASSERT_TRUE(fine.ok() && tied.ok());
+  EXPECT_LT(std::abs(tied->z), std::abs(fine->z));
+}
+
+TEST(SignificanceTest, TinyDomainsUndefined) {
+  const BucketOrder two = BucketOrder::SingleBucket(2);
+  EXPECT_FALSE(KendallSignificance(two, two).ok());
+}
+
+TEST(SpearmanRhoTest, PerfectAndInverse) {
+  const BucketOrder o = BucketOrder::FromPermutation(Permutation(8));
+  auto same = SpearmanRho(o, o);
+  ASSERT_TRUE(same.ok());
+  EXPECT_NEAR(*same, 1.0, 1e-12);
+  auto rev = SpearmanRho(o, o.Reverse());
+  ASSERT_TRUE(rev.ok());
+  EXPECT_NEAR(*rev, -1.0, 1e-12);
+}
+
+TEST(SpearmanRhoTest, UndefinedOnConstantRanking) {
+  auto rho = SpearmanRho(BucketOrder::SingleBucket(4),
+                         BucketOrder::FromPermutation(Permutation(4)));
+  EXPECT_FALSE(rho.ok());
+  EXPECT_EQ(rho.status().code(), StatusCode::kUndefined);
+}
+
+TEST(SpearmanRhoTest, SymmetricAndBounded) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BucketOrder a = RandomBucketOrder(9, rng);
+    const BucketOrder b = RandomBucketOrder(9, rng);
+    auto ab = SpearmanRho(a, b);
+    auto ba = SpearmanRho(b, a);
+    if (!ab.ok()) {
+      EXPECT_FALSE(ba.ok());
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(*ab, *ba);
+    EXPECT_GE(*ab, -1.0 - 1e-12);
+    EXPECT_LE(*ab, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rankties

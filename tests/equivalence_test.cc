@@ -1,0 +1,148 @@
+// Property tests for Section 5 (Theorem 7): the four metrics are pairwise
+// within a factor of two, via the three inequalities (4), (5), (6).
+
+#include <gtest/gtest.h>
+
+#include "core/footrule.h"
+#include "core/hausdorff.h"
+#include "core/metric_registry.h"
+#include "core/profile_metrics.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+struct Workload {
+  const char* name;
+  std::function<BucketOrder(std::size_t, Rng&)> sample;
+};
+
+std::vector<Workload> Workloads() {
+  return {
+      {"uniform-type", [](std::size_t n, Rng& rng) {
+         return RandomBucketOrder(n, rng);
+       }},
+      {"few-valued", [](std::size_t n, Rng& rng) {
+         return RandomFewValued(n, 4.0, rng);
+       }},
+      {"top-k", [](std::size_t n, Rng& rng) {
+         return RandomTopK(n, n / 3 + 1, rng);
+       }},
+      {"mallows-quantized", [](std::size_t n, Rng& rng) {
+         const Permutation center(n);
+         return QuantizedMallows(center, 0.7, std::max<std::size_t>(2, n / 4),
+                                 rng);
+       }},
+  };
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<std::size_t> {};
+
+// Eq. (4): KHaus <= FHaus <= 2 KHaus.
+TEST_P(EquivalenceTest, HausdorffDiaconisGraham) {
+  const std::size_t n = GetParam();
+  Rng rng(40 + n);
+  for (const Workload& w : Workloads()) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const BucketOrder x = w.sample(n, rng);
+      const BucketOrder y = w.sample(n, rng);
+      const std::int64_t twice_k = 2 * KHausdorff(x, y);
+      const std::int64_t twice_f = TwiceFHausdorff(x, y);
+      EXPECT_LE(twice_k, twice_f) << w.name;
+      EXPECT_LE(twice_f, 2 * twice_k) << w.name;
+    }
+  }
+}
+
+// Eq. (5): Kprof <= Fprof <= 2 Kprof (the hard one, via reflection/nesting).
+TEST_P(EquivalenceTest, ProfileDiaconisGraham) {
+  const std::size_t n = GetParam();
+  Rng rng(50 + n);
+  for (const Workload& w : Workloads()) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const BucketOrder x = w.sample(n, rng);
+      const BucketOrder y = w.sample(n, rng);
+      const std::int64_t twice_kprof = TwiceKprof(x, y);
+      const std::int64_t twice_fprof = TwiceFprof(x, y);
+      EXPECT_LE(twice_kprof, twice_fprof) << w.name;
+      EXPECT_LE(twice_fprof, 2 * twice_kprof) << w.name;
+    }
+  }
+}
+
+// Eq. (6): Kprof <= KHaus <= 2 Kprof.
+TEST_P(EquivalenceTest, ProfileVsHausdorffKendall) {
+  const std::size_t n = GetParam();
+  Rng rng(60 + n);
+  for (const Workload& w : Workloads()) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const BucketOrder x = w.sample(n, rng);
+      const BucketOrder y = w.sample(n, rng);
+      const std::int64_t twice_kprof = TwiceKprof(x, y);
+      const std::int64_t twice_khaus = 2 * KHausdorff(x, y);
+      EXPECT_LE(twice_kprof, twice_khaus) << w.name;
+      EXPECT_LE(twice_khaus, 2 * twice_kprof) << w.name;
+    }
+  }
+}
+
+// Chained: every pair of the four metrics is within the constant implied by
+// composing (4), (5), (6) — in particular within [1/4, 4]; Theorem 7 only
+// claims *some* constants, these bounds are the composition.
+TEST_P(EquivalenceTest, AllPairsWithinComposedConstants) {
+  const std::size_t n = GetParam();
+  Rng rng(70 + n);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BucketOrder x = RandomBucketOrder(n, rng);
+    const BucketOrder y = RandomBucketOrder(n, rng);
+    std::vector<double> values;
+    for (MetricKind kind : AllMetricKinds()) {
+      values.push_back(ComputeMetric(kind, x, y));
+    }
+    for (double a : values) {
+      for (double b : values) {
+        if (b == 0) {
+          EXPECT_EQ(a, 0);  // all metrics vanish together (regularity)
+        } else {
+          EXPECT_LE(a / b, 4.0 + 1e-9);
+          EXPECT_GE(a / b, 0.25 - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EquivalenceTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 40));
+
+TEST(EquivalenceTightnessTest, KprofEqualsFprofLowerEdge) {
+  // Adjacent singleton swap: Kprof = 1, Fprof = 2 -> Fprof = 2 Kprof (tight
+  // upper edge).
+  auto x = BucketOrder::FromBuckets(2, {{0}, {1}});
+  auto y = BucketOrder::FromBuckets(2, {{1}, {0}});
+  ASSERT_TRUE(x.ok() && y.ok());
+  EXPECT_EQ(TwiceKprof(*x, *y), 2);
+  EXPECT_EQ(TwiceFprof(*x, *y), 4);
+}
+
+TEST(EquivalenceTightnessTest, KHausEqualsTwoKprofEdge) {
+  // One tied pair in sigma only: Kprof = 1/2, KHaus = 1 -> KHaus = 2 Kprof.
+  auto x = BucketOrder::FromBuckets(2, {{0, 1}});
+  auto y = BucketOrder::FromBuckets(2, {{0}, {1}});
+  ASSERT_TRUE(x.ok() && y.ok());
+  EXPECT_EQ(TwiceKprof(*x, *y), 1);
+  EXPECT_EQ(KHausdorff(*x, *y), 1);
+}
+
+TEST(EquivalenceTightnessTest, SymmetricTiesKeepKHausEqualKprof) {
+  // S == T balanced: KHaus = U + max(S,T) vs Kprof = U + (S+T)/2 coincide.
+  auto x = BucketOrder::FromBuckets(4, {{0, 1}, {2}, {3}});
+  auto y = BucketOrder::FromBuckets(4, {{0}, {1}, {2, 3}});
+  ASSERT_TRUE(x.ok() && y.ok());
+  EXPECT_EQ(2 * KHausdorff(*x, *y), TwiceKprof(*x, *y));
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,53 @@
+#include "gen/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(TopKOverlapTest, IdenticalAndDisjoint) {
+  const Permutation id(10);
+  EXPECT_DOUBLE_EQ(TopKOverlap(id, id, 5), 1.0);
+  // Reverse: top-5 of reverse = elements 5..9 — disjoint from 0..4.
+  EXPECT_DOUBLE_EQ(TopKOverlap(id, id.Reverse(), 5), 0.0);
+  // Full-domain k always overlaps completely.
+  EXPECT_DOUBLE_EQ(TopKOverlap(id, id.Reverse(), 10), 1.0);
+}
+
+TEST(TopKOverlapTest, PartialOverlap) {
+  const Permutation a = Permutation::FromOrder({0, 1, 2, 3}).value();
+  const Permutation b = Permutation::FromOrder({1, 0, 3, 2}).value();
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 2), 1.0);   // {0,1} both
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 1), 0.0);   // 0 vs 1
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 3), 2.0 / 3.0);
+}
+
+TEST(TopKOverlapTest, ClampsAndEdges) {
+  const Permutation id(4);
+  EXPECT_DOUBLE_EQ(TopKOverlap(id, id, 99), 1.0);  // clamped to n
+  EXPECT_DOUBLE_EQ(TopKOverlap(id, id, 0), 0.0);
+  const Permutation empty(0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(empty, empty, 3), 0.0);
+}
+
+TEST(PrefixJaccardTest, BucketOrders) {
+  const BucketOrder a = BucketOrder::FromBuckets(5, {{0, 1}, {2}, {3, 4}}).value();
+  const BucketOrder b = BucketOrder::FromBuckets(5, {{1, 2}, {0}, {3, 4}}).value();
+  // Prefix 2 canonical: a -> {0,1}; b -> {1,2}: intersection 1, union 3.
+  EXPECT_DOUBLE_EQ(PrefixJaccard(a, b, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrefixJaccard(a, a, 3), 1.0);
+  EXPECT_DOUBLE_EQ(PrefixJaccard(a, b, 0), 0.0);
+}
+
+TEST(WinnerReciprocalRankTest, Values) {
+  const Permutation truth(6);
+  const Permutation shifted = Permutation::FromOrder({3, 0, 1, 2, 4, 5}).value();
+  // truth winner = 0; in `shifted` it sits at rank 2 (1-based).
+  EXPECT_DOUBLE_EQ(WinnerReciprocalRank(shifted, truth), 0.5);
+  EXPECT_DOUBLE_EQ(WinnerReciprocalRank(truth, truth), 1.0);
+}
+
+}  // namespace
+}  // namespace rankties

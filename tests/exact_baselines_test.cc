@@ -1,0 +1,206 @@
+// Tests for the exact aggregation yardsticks: typed footrule-optimal
+// assignment, the all-types optimum, and the 3^n partial-Kemeny DP.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/consolidation.h"
+#include "core/cost.h"
+#include "core/footrule_matching.h"
+#include "core/kemeny.h"
+#include "core/median_rank.h"
+#include "core/optimal_bucketing.h"
+#include "gen/random_orders.h"
+#include "rank/refinement.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+std::vector<BucketOrder> RandomInputs(std::size_t n, std::size_t m, Rng& rng) {
+  std::vector<BucketOrder> inputs;
+  for (std::size_t i = 0; i < m; ++i) {
+    inputs.push_back(RandomBucketOrder(n, rng));
+  }
+  return inputs;
+}
+
+TEST(FootruleOptimalTypedTest, MatchesExhaustiveAssignments) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5;
+    const auto inputs = RandomInputs(n, 3, rng);
+    const std::vector<std::size_t> alpha = RandomType(n, rng);
+    auto ours = FootruleOptimalOfType(inputs, alpha);
+    ASSERT_TRUE(ours.ok());
+    EXPECT_EQ(ours->order.Type(), alpha);
+    EXPECT_EQ(ours->twice_total_cost, TwiceTotalFprof(ours->order, inputs));
+
+    // Exhaustive: every assignment of elements to the alpha slots.
+    std::vector<ElementId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    do {
+      std::vector<BucketIndex> bucket_of(n);
+      std::size_t at = 0;
+      for (std::size_t b = 0; b < alpha.size(); ++b) {
+        for (std::size_t i = 0; i < alpha[b]; ++i, ++at) {
+          bucket_of[static_cast<std::size_t>(perm[at])] =
+              static_cast<BucketIndex>(b);
+        }
+      }
+      auto candidate = BucketOrder::FromBucketIndex(bucket_of);
+      ASSERT_TRUE(candidate.ok());
+      best = std::min(best, TwiceTotalFprof(*candidate, inputs));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(ours->twice_total_cost, best);
+  }
+}
+
+TEST(FootruleOptimalTypedTest, TopKSpecialCase) {
+  Rng rng(2);
+  const auto inputs = RandomInputs(7, 4, rng);
+  auto topk = FootruleOptimalTopK(inputs, 3);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_TRUE(topk->order.IsTopK(3));
+  // Full type degenerates to FootruleOptimalFull.
+  auto full_typed = FootruleOptimalTopK(inputs, 7);
+  auto full = FootruleOptimalFull(inputs);
+  ASSERT_TRUE(full_typed.ok() && full.ok());
+  EXPECT_EQ(full_typed->twice_total_cost, full->twice_total_cost);
+}
+
+TEST(FootruleOptimalTypedTest, Theorem9MeasuredAgainstTrueOptimum) {
+  // The median top-k at n=20 (beyond exhaustive reach) against the
+  // assignment-exact optimal top-k: factor <= 3.
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto inputs = RandomInputs(20, 5, rng);
+    for (std::size_t k : {1u, 5u, 10u}) {
+      auto ours = MedianAggregateTopK(inputs, k, MedianPolicy::kLower);
+      auto optimal = FootruleOptimalTopK(inputs, k);
+      ASSERT_TRUE(ours.ok() && optimal.ok());
+      EXPECT_LE(TwiceTotalFprof(*ours, inputs), 3 * optimal->twice_total_cost)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(FootruleOptimalTypedTest, Corollary30MeasuredAgainstTrueOptimum) {
+  // ConsolidateToType(median, alpha) <= 3x the typed optimum for any type.
+  Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 10;
+    const auto inputs = RandomInputs(n, 5, rng);
+    const std::vector<std::size_t> alpha = RandomType(n, rng);
+    auto scores = MedianRankScoresQuad(inputs, MedianPolicy::kLower);
+    ASSERT_TRUE(scores.ok());
+    auto ours = ConsolidateToType(*scores, alpha);
+    auto optimal = FootruleOptimalOfType(inputs, alpha);
+    ASSERT_TRUE(ours.ok() && optimal.ok());
+    EXPECT_LE(TwiceTotalFprof(ours->order, inputs),
+              3 * optimal->twice_total_cost);
+  }
+}
+
+TEST(FprofOptimalPartialTest, BeatsEveryTypedOptimumAndRandomOrder) {
+  Rng rng(5);
+  const std::size_t n = 7;
+  const auto inputs = RandomInputs(n, 4, rng);
+  auto best = FprofOptimalPartial(inputs);
+  ASSERT_TRUE(best.ok());
+  for (int g = 0; g < 50; ++g) {
+    const BucketOrder tau = RandomBucketOrder(n, rng);
+    EXPECT_LE(best->twice_total_cost, TwiceTotalFprof(tau, inputs));
+  }
+  auto full = FootruleOptimalFull(inputs);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(best->twice_total_cost, full->twice_total_cost);
+  EXPECT_FALSE(FprofOptimalPartial(RandomInputs(20, 2, rng)).ok());  // guard
+}
+
+TEST(FprofOptimalPartialTest, Theorem10AgainstTrueOptimum) {
+  // f-dagger of the median within 2x of the true partial-ranking optimum.
+  Rng rng(6);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 8;
+    const auto inputs = RandomInputs(n, 5, rng);
+    auto scores = MedianRankScoresQuad(inputs, MedianPolicy::kLower);
+    auto fdagger = OptimalBucketing(*scores);
+    auto optimal = FprofOptimalPartial(inputs);
+    ASSERT_TRUE(fdagger.ok() && optimal.ok());
+    EXPECT_LE(TwiceTotalFprof(fdagger->order, inputs),
+              2 * optimal->twice_total_cost);
+  }
+}
+
+TEST(ExactKemenyPartialTest, MatchesBruteForceOverOrderedPartitions) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 5;
+    const auto inputs = RandomInputs(n, 3, rng);
+    auto ours = ExactKemenyPartial(inputs, 0.5);
+    ASSERT_TRUE(ours.ok());
+    EXPECT_DOUBLE_EQ(ours->total_cost,
+                     TotalKendallP(ours->order, inputs, 0.5));
+
+    // Brute force over all ordered set partitions: enumerate permutations
+    // and all composition cuts (each ordered partition arises from at
+    // least one (perm, cuts) pair).
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<ElementId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      for (std::uint64_t mask = 0; mask < (1ULL << (n - 1)); ++mask) {
+        std::vector<BucketIndex> bucket_of(n);
+        BucketIndex b = 0;
+        for (std::size_t r = 0; r < n; ++r) {
+          bucket_of[static_cast<std::size_t>(perm[r])] = b;
+          if (r + 1 < n && (mask & (1ULL << r))) ++b;
+        }
+        auto candidate = BucketOrder::FromBucketIndex(bucket_of);
+        ASSERT_TRUE(candidate.ok());
+        best = std::min(best, TotalKendallP(*candidate, inputs, 0.5));
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_DOUBLE_EQ(ours->total_cost, best) << "trial " << trial;
+  }
+}
+
+TEST(ExactKemenyPartialTest, NeverWorseThanFullKemeny) {
+  // Partial rankings include full ones, so the partial optimum is <= the
+  // full optimum; with tie-heavy inputs it is typically strictly better.
+  Rng rng(8);
+  std::int64_t strictly_better = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inputs = RandomInputs(7, 5, rng);
+    auto partial = ExactKemenyPartial(inputs, 0.5);
+    auto full = ExactKemeny(inputs, 0.5);
+    ASSERT_TRUE(partial.ok() && full.ok());
+    EXPECT_LE(partial->twice_cost, full->twice_cost);
+    if (partial->twice_cost < full->twice_cost) ++strictly_better;
+  }
+  EXPECT_GT(strictly_better, 0);
+}
+
+TEST(ExactKemenyPartialTest, UnanimousInputIsRecoveredExactly) {
+  Rng rng(9);
+  const BucketOrder truth = RandomBucketOrder(8, rng);
+  std::vector<BucketOrder> inputs(5, truth);
+  auto result = ExactKemenyPartial(inputs, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->order, truth);
+  EXPECT_EQ(result->twice_cost, 0);
+}
+
+TEST(ExactKemenyPartialTest, Validation) {
+  EXPECT_FALSE(ExactKemenyPartial({}, 0.5).ok());
+  std::vector<BucketOrder> big(2, BucketOrder::SingleBucket(14));
+  EXPECT_FALSE(ExactKemenyPartial(big, 0.5).ok());
+  std::vector<BucketOrder> ok_inputs(2, BucketOrder::SingleBucket(4));
+  EXPECT_FALSE(ExactKemenyPartial(ok_inputs, 0.3).ok());
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,93 @@
+#include "db/indexed_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "db/query_parser.h"
+#include "gen/datasets.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(IndexedCatalogTest, BuildsIndexesForNumericColumnsOnly) {
+  Rng rng(1);
+  const Table table = MakeRestaurantTable(100, rng);
+  auto catalog = IndexedCatalog::Build(table);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_TRUE(catalog->IndexOf("distance_miles").ok());
+  EXPECT_TRUE(catalog->IndexOf("stars").ok());
+  EXPECT_FALSE(catalog->IndexOf("cuisine").ok());
+  EXPECT_FALSE(catalog->IndexOf("bogus").ok());
+}
+
+TEST(IndexedCatalogTest, AgreesWithUnindexedMedrankExactly) {
+  Rng rng(2);
+  const Table table = MakeRestaurantTable(800, rng);
+  auto catalog = IndexedCatalog::Build(table);
+  ASSERT_TRUE(catalog.ok());
+  auto prefs = ParsePreferences(
+      table.schema(),
+      "cuisine:thai>italian distance_miles:asc~10 price_tier:asc stars:desc");
+  ASSERT_TRUE(prefs.ok());
+
+  PreferenceQuery query(table);
+  for (const AttributePreference& pref : *prefs) query.Add(pref);
+  auto direct = query.TopKMedrank(10);
+  auto indexed = catalog->TopKMedrank(*prefs, 10);
+  ASSERT_TRUE(direct.ok() && indexed.ok());
+  EXPECT_EQ(indexed->top_rows, direct->top_rows);
+  EXPECT_EQ(indexed->sorted_accesses, direct->sorted_accesses);
+}
+
+TEST(IndexedCatalogTest, NearQueriesThroughTheIndex) {
+  Rng rng(3);
+  const Table table = MakeFlightTable(500, rng);
+  auto catalog = IndexedCatalog::Build(table);
+  ASSERT_TRUE(catalog.ok());
+  auto prefs = ParsePreferences(
+      table.schema(),
+      "price_usd:asc~50 connections:asc departure_hour:near=9~2");
+  ASSERT_TRUE(prefs.ok());
+  PreferenceQuery query(table);
+  for (const AttributePreference& pref : *prefs) query.Add(pref);
+  auto direct = query.TopKMedrank(5);
+  auto indexed = catalog->TopKMedrank(*prefs, 5);
+  ASSERT_TRUE(direct.ok() && indexed.ok());
+  EXPECT_EQ(indexed->top_rows, direct->top_rows);
+}
+
+TEST(IndexedCatalogTest, ManyQueriesOverOneBuild) {
+  // The point of the architecture: one Build, many query shapes.
+  Rng rng(4);
+  const Table table = MakeFlightTable(300, rng);
+  auto catalog = IndexedCatalog::Build(table);
+  ASSERT_TRUE(catalog.ok());
+  const char* queries[] = {
+      "price_usd:asc",
+      "price_usd:desc duration_hours:asc",
+      "departure_hour:near=7 connections:asc",
+      "airline:blueway price_usd:asc~100",
+  };
+  for (const char* text : queries) {
+    auto prefs = ParsePreferences(table.schema(), text);
+    ASSERT_TRUE(prefs.ok()) << text;
+    auto result = catalog->TopKMedrank(*prefs, 3);
+    ASSERT_TRUE(result.ok()) << text;
+    EXPECT_EQ(result->top_rows.size(), 3u) << text;
+  }
+}
+
+TEST(IndexedCatalogTest, Validation) {
+  Rng rng(5);
+  const Table table = MakeRestaurantTable(50, rng);
+  auto catalog = IndexedCatalog::Build(table);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_FALSE(catalog->TopKMedrank({}, 3).ok());
+  AttributePreference bad;
+  bad.column = "nope";
+  bad.mode = AttributePreference::Mode::kAscending;
+  EXPECT_FALSE(catalog->TopKMedrank({bad}, 3).ok());
+}
+
+}  // namespace
+}  // namespace rankties

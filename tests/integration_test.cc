@@ -1,0 +1,150 @@
+// End-to-end flows across modules: synthetic catalog -> tied rankings ->
+// metrics -> aggregation -> database-friendly retrieval.
+
+#include <gtest/gtest.h>
+
+#include "rankties.h"
+
+namespace rankties {
+namespace {
+
+TEST(IntegrationTest, RestaurantScenarioEndToEnd) {
+  Rng rng(42);
+  const Table table = MakeRestaurantTable(300, rng);
+
+  PreferenceQuery query(table);
+  query
+      .Add({.column = "cuisine",
+            .mode = AttributePreference::Mode::kCategoryOrder,
+            .category_order = {"thai", "italian", "japanese"}})
+      .Add({.column = "distance_miles",
+            .mode = AttributePreference::Mode::kAscending,
+            .granularity = 10.0})
+      .Add({.column = "price_tier",
+            .mode = AttributePreference::Mode::kAscending})
+      .Add({.column = "stars",
+            .mode = AttributePreference::Mode::kDescending});
+
+  auto rankings = query.DeriveRankings();
+  ASSERT_TRUE(rankings.ok());
+
+  // The paper's premise: these attribute sorts are heavily tied.
+  for (const BucketOrder& ranking : *rankings) {
+    EXPECT_LT(ranking.num_buckets(), ranking.n() / 2);
+  }
+
+  // The offline top-1 minimizes the lower-median position; the online
+  // MEDRANK winner minimizes the median *access depth* (under ties the
+  // cursors expose a deterministic refinement, so depths, not bucket
+  // positions, drive certification).
+  auto offline = query.TopK(5);
+  auto online = query.TopKMedrank(5);
+  ASSERT_TRUE(offline.ok() && online.ok());
+  EXPECT_EQ(online->top_rows.size(), 5u);
+  auto scores = MedianRankScoresQuad(*rankings, MedianPolicy::kLower);
+  ASSERT_TRUE(scores.ok());
+  const std::int64_t best =
+      *std::min_element(scores->begin(), scores->end());
+  EXPECT_EQ((*scores)[static_cast<std::size_t>(offline->top_rows[0])], best);
+  const std::size_t majority = rankings->size() / 2 + 1;
+  auto cert_depth = [&](ElementId e) {
+    std::vector<std::int64_t> depths;
+    for (const BucketOrder& ranking : *rankings) {
+      depths.push_back(AccessDepth(ranking, e));
+    }
+    std::sort(depths.begin(), depths.end());
+    return depths[majority - 1];
+  };
+  const std::int64_t winner_depth = cert_depth(online->top_rows[0]);
+  for (std::size_t e = 0; e < table.num_rows(); ++e) {
+    EXPECT_GE(cert_depth(static_cast<ElementId>(e)), winner_depth);
+  }
+
+  // The online path must not read more than m * n accesses.
+  EXPECT_LE(online->sorted_accesses,
+            static_cast<std::int64_t>(rankings->size() * table.num_rows()));
+}
+
+TEST(IntegrationTest, MetricsAgreeOnScenarioRankings) {
+  Rng rng(7);
+  const Table table = MakeFlightTable(120, rng);
+  PreferenceQuery query(table);
+  query
+      .Add({.column = "price_usd",
+            .mode = AttributePreference::Mode::kAscending,
+            .granularity = 50.0})
+      .Add({.column = "connections",
+            .mode = AttributePreference::Mode::kAscending})
+      .Add({.column = "departure_hour",
+            .mode = AttributePreference::Mode::kNear,
+            .target = 9.0,
+            .granularity = 2.0});
+  auto rankings = query.DeriveRankings();
+  ASSERT_TRUE(rankings.ok());
+
+  // Theorem 7 inequalities hold on real scenario pairs.
+  for (std::size_t i = 0; i < rankings->size(); ++i) {
+    for (std::size_t j = i + 1; j < rankings->size(); ++j) {
+      const BucketOrder& x = (*rankings)[i];
+      const BucketOrder& y = (*rankings)[j];
+      const std::int64_t twice_kprof = TwiceKprof(x, y);
+      const std::int64_t twice_fprof = TwiceFprof(x, y);
+      const std::int64_t twice_khaus = 2 * KHausdorff(x, y);
+      const std::int64_t twice_fhaus = TwiceFHausdorff(x, y);
+      EXPECT_LE(twice_kprof, twice_fprof);
+      EXPECT_LE(twice_fprof, 2 * twice_kprof);
+      EXPECT_LE(twice_khaus, twice_fhaus);
+      EXPECT_LE(twice_fhaus, 2 * twice_khaus);
+      EXPECT_LE(twice_kprof, twice_khaus);
+      EXPECT_LE(twice_khaus, 2 * twice_kprof);
+    }
+  }
+}
+
+TEST(IntegrationTest, AggregationQualityChainOnMallowsVoters) {
+  // Median and f-dagger respect their proved factors against the exact
+  // footrule optimum on correlated voters.
+  Rng rng(11);
+  const std::size_t n = 10;
+  const Permutation truth = Permutation::Random(n, rng);
+  std::vector<BucketOrder> voters;
+  for (int i = 0; i < 7; ++i) {
+    voters.push_back(QuantizedMallows(truth, 0.5, 4, rng));
+  }
+
+  auto median_full = MedianAggregateFull(voters, MedianPolicy::kLower);
+  ASSERT_TRUE(median_full.ok());
+  auto optimal = FootruleOptimalFull(voters);
+  ASSERT_TRUE(optimal.ok());
+  const std::int64_t median_cost =
+      TwiceTotalFprof(BucketOrder::FromPermutation(*median_full), voters);
+  // Theorem 9 (top-n case): within 3x of the optimal *full ranking*.
+  EXPECT_LE(median_cost, 3 * optimal->twice_total_cost);
+
+  // f-dagger (partial-ranking output) is within 2x of any partial ranking;
+  // in particular within 2x of the optimal full ranking's cost.
+  auto scores = MedianRankScoresQuad(voters, MedianPolicy::kLower);
+  ASSERT_TRUE(scores.ok());
+  auto fdagger = OptimalBucketing(*scores);
+  ASSERT_TRUE(fdagger.ok());
+  EXPECT_LE(TwiceTotalFprof(fdagger->order, voters),
+            2 * optimal->twice_total_cost);
+
+  // And the aggregate is close to the planted truth.
+  EXPECT_LE(KendallTau(*median_full, truth), MaxKendall(n) / 3);
+}
+
+TEST(IntegrationTest, SerializationSurvivesPipeline) {
+  Rng rng(13);
+  std::vector<BucketOrder> rankings;
+  for (int i = 0; i < 4; ++i) rankings.push_back(RandomFewValued(15, 4, rng));
+  auto parsed = ParseBucketOrders(FormatBucketOrders(rankings));
+  ASSERT_TRUE(parsed.ok());
+  auto before = MedianAggregateFull(rankings, MedianPolicy::kAverage);
+  auto after = MedianAggregateFull(*parsed, MedianPolicy::kAverage);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+}  // namespace
+}  // namespace rankties

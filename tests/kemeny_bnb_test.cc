@@ -1,0 +1,102 @@
+#include "core/kemeny_bnb.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/kemeny.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+std::vector<BucketOrder> RandomInputs(std::size_t n, std::size_t m, Rng& rng) {
+  std::vector<BucketOrder> inputs;
+  for (std::size_t i = 0; i < m; ++i) {
+    inputs.push_back(RandomBucketOrder(n, rng));
+  }
+  return inputs;
+}
+
+TEST(KemenyBnbTest, MatchesHeldKarpOnSmallInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(trial % 6);
+    const auto inputs = RandomInputs(n, 5, rng);
+    auto exact = ExactKemeny(inputs, 0.5);
+    auto bnb = KemenyBranchAndBound(inputs, 0.5);
+    ASSERT_TRUE(exact.ok() && bnb.ok());
+    EXPECT_TRUE(bnb->proven_optimal);
+    EXPECT_EQ(bnb->twice_cost, exact->twice_cost) << "n=" << n;
+    // Reported cost matches the reported ranking.
+    EXPECT_DOUBLE_EQ(
+        TotalKendallP(BucketOrder::FromPermutation(bnb->ranking), inputs,
+                      0.5),
+        static_cast<double>(bnb->twice_cost) / 2.0);
+  }
+}
+
+TEST(KemenyBnbTest, ClosesMediumInstancesBeyondHeldKarp) {
+  // n = 24 is far outside the 2^n DP's range; correlated voters make the
+  // pairwise-min bound tight enough to close the instance.
+  Rng rng(2);
+  const std::size_t n = 24;
+  const Permutation truth = Permutation::Random(n, rng);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 7; ++i) {
+    inputs.push_back(QuantizedMallows(truth, 0.4, 6, rng));
+  }
+  auto bnb = KemenyBranchAndBound(inputs, 0.5);
+  ASSERT_TRUE(bnb.ok());
+  EXPECT_TRUE(bnb->proven_optimal);
+  EXPECT_GT(bnb->nodes, 0);
+}
+
+TEST(KemenyBnbTest, BudgetExhaustionStillReturnsIncumbent) {
+  Rng rng(3);
+  const auto inputs = RandomInputs(16, 5, rng);
+  auto bnb = KemenyBranchAndBound(inputs, 0.5, /*node_budget=*/10);
+  ASSERT_TRUE(bnb.ok());
+  EXPECT_FALSE(bnb->proven_optimal);
+  // The incumbent is a valid full ranking with a consistent cost.
+  EXPECT_DOUBLE_EQ(
+      TotalKendallP(BucketOrder::FromPermutation(bnb->ranking), inputs, 0.5),
+      static_cast<double>(bnb->twice_cost) / 2.0);
+}
+
+TEST(KemenyBnbTest, Validation) {
+  EXPECT_FALSE(KemenyBranchAndBound({}, 0.5).ok());
+  std::vector<BucketOrder> inputs = {BucketOrder::SingleBucket(4)};
+  EXPECT_FALSE(KemenyBranchAndBound(inputs, 0.3).ok());
+}
+
+TEST(PivotAggregateTest, UnanimousRecovery) {
+  Rng rng(4);
+  const Permutation truth = Permutation::Random(9, rng);
+  std::vector<BucketOrder> inputs(5, BucketOrder::FromPermutation(truth));
+  const Permutation result = PivotAggregate(inputs, 0.5, rng);
+  EXPECT_EQ(result, truth);
+}
+
+TEST(PivotAggregateTest, NearOptimalOnAverage) {
+  Rng rng(5);
+  double total_ratio = 0;
+  int count = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inputs = RandomInputs(8, 7, rng);
+    auto exact = ExactKemeny(inputs, 0.5);
+    ASSERT_TRUE(exact.ok());
+    const Permutation pivot = PivotAggregate(inputs, 0.5, rng);
+    const double ratio = ApproxRatio(
+        TotalKendallP(BucketOrder::FromPermutation(pivot), inputs, 0.5),
+        exact->total_cost);
+    EXPECT_LE(ratio, 2.0) << "pivot unexpectedly poor";
+    total_ratio += ratio;
+    ++count;
+  }
+  EXPECT_LE(total_ratio / count, 1.3);  // typically near-optimal
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,152 @@
+#include "rank/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pair_counts.h"
+#include "gen/random_orders.h"
+#include "rank/refinement.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+BucketOrder Must(StatusOr<BucketOrder> order) {
+  EXPECT_TRUE(order.ok()) << order.status();
+  return std::move(order).value();
+}
+
+TEST(MeetTest, CompatibleOrdersMerge) {
+  // sigma: [0 1 | 2 3], tau: [0 1 2 | 3] — compatible; meet = [0 1 | 2 | 3].
+  const BucketOrder sigma = Must(BucketOrder::FromBuckets(4, {{0, 1}, {2, 3}}));
+  const BucketOrder tau = Must(BucketOrder::FromBuckets(4, {{0, 1, 2}, {3}}));
+  auto meet = CoarsestCommonRefinement(sigma, tau);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ(meet->ToString(), "[0 1 | 2 | 3]");
+}
+
+TEST(MeetTest, DiscordantOrdersHaveNoMeet) {
+  const BucketOrder sigma = Must(BucketOrder::FromBuckets(2, {{0}, {1}}));
+  const BucketOrder tau = Must(BucketOrder::FromBuckets(2, {{1}, {0}}));
+  auto meet = CoarsestCommonRefinement(sigma, tau);
+  EXPECT_FALSE(meet.ok());
+  EXPECT_EQ(meet.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MeetTest, PropertiesOnRandomCompatiblePairs) {
+  // Generate compatible pairs by coarsening a common refinement.
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10;
+    const Permutation base = Permutation::Random(n, rng);
+    const BucketOrder fine = BucketOrder::FromPermutation(base);
+    // Two random coarsenings of the same permutation are compatible.
+    auto coarsen = [&](Rng& r) {
+      const std::vector<std::size_t> type = RandomType(n, r);
+      std::vector<BucketIndex> bucket_of(n);
+      std::size_t at = 0;
+      for (std::size_t b = 0; b < type.size(); ++b) {
+        for (std::size_t i = 0; i < type[b]; ++i, ++at) {
+          bucket_of[static_cast<std::size_t>(
+              base.At(static_cast<ElementId>(at)))] =
+              static_cast<BucketIndex>(b);
+        }
+      }
+      return BucketOrder::FromBucketIndex(bucket_of).value();
+    };
+    const BucketOrder sigma = coarsen(rng);
+    const BucketOrder tau = coarsen(rng);
+    auto meet = CoarsestCommonRefinement(sigma, tau);
+    ASSERT_TRUE(meet.ok());
+    EXPECT_TRUE(IsRefinementOf(*meet, sigma));
+    EXPECT_TRUE(IsRefinementOf(*meet, tau));
+    // Coarsest: ties exactly the tied-in-both pairs.
+    const PairCounts counts = ComputePairCounts(sigma, tau);
+    std::int64_t meet_ties = 0;
+    for (std::size_t b = 0; b < meet->num_buckets(); ++b) {
+      const std::int64_t size =
+          static_cast<std::int64_t>(meet->bucket(b).size());
+      meet_ties += size * (size - 1) / 2;
+    }
+    EXPECT_EQ(meet_ties, counts.tied_both);
+  }
+}
+
+TEST(JoinTest, HandExample) {
+  // sigma: [0 | 1 | 2 3], tau: [1 | 0 | 2 | 3]: they disagree inside
+  // {0,1} but both cut after prefix {0,1}; join = [0 1 | 2 3]? tau cuts
+  // after {1}, {0,1}, {0,1,2}; sigma cuts after {0}, {0,1}, {0,1,2,3}.
+  // Common prefix-set cuts: {0,1} and the full set... sigma has no cut at
+  // 3, so join = [0 1 | 2 3].
+  const BucketOrder sigma =
+      Must(BucketOrder::FromBuckets(4, {{0}, {1}, {2, 3}}));
+  const BucketOrder tau =
+      Must(BucketOrder::FromBuckets(4, {{1}, {0}, {2}, {3}}));
+  const BucketOrder join = FinestCommonCoarsening(sigma, tau);
+  EXPECT_EQ(join.ToString(), "[0 1 | 2 3]");
+}
+
+TEST(JoinTest, IdenticalOrdersJoinToThemselves) {
+  Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const BucketOrder sigma = RandomBucketOrder(9, rng);
+    EXPECT_EQ(FinestCommonCoarsening(sigma, sigma), sigma);
+  }
+}
+
+TEST(JoinTest, ReversedOrdersJoinToSingleBucket) {
+  const BucketOrder id = BucketOrder::FromPermutation(Permutation(6));
+  EXPECT_EQ(FinestCommonCoarsening(id, id.Reverse()),
+            BucketOrder::SingleBucket(6));
+}
+
+TEST(JoinTest, BothRefineTheJoinAndItIsFinest) {
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 9;
+    const BucketOrder sigma = RandomBucketOrder(n, rng);
+    const BucketOrder tau = RandomBucketOrder(n, rng);
+    const BucketOrder join = FinestCommonCoarsening(sigma, tau);
+    EXPECT_TRUE(IsRefinementOf(sigma, join));
+    EXPECT_TRUE(IsRefinementOf(tau, join));
+    // Finest: any common coarsening has boundaries only where the join
+    // does. Check the join has a boundary at every prefix where BOTH
+    // inputs cut over identical prefix sets (brute re-derivation).
+    std::vector<bool> join_cut(n + 1, false);
+    {
+      std::size_t cumulative = 0;
+      for (std::size_t b = 0; b < join.num_buckets(); ++b) {
+        cumulative += join.bucket(b).size();
+        join_cut[cumulative] = true;
+      }
+    }
+    for (std::size_t s = 1; s <= n; ++s) {
+      // Prefix sets of size s at bucket boundaries (brute force walks).
+      std::set<ElementId> ps, pt;
+      std::size_t cs = 0;
+      bool sigma_cut = false;
+      for (std::size_t b = 0; b < sigma.num_buckets(); ++b) {
+        for (ElementId e : sigma.bucket(b)) {
+          if (cs < s) ps.insert(e);
+          ++cs;
+        }
+        if (cs == s) sigma_cut = true;
+      }
+      std::size_t ct = 0;
+      bool tau_cut = false;
+      for (std::size_t b = 0; b < tau.num_buckets(); ++b) {
+        for (ElementId e : tau.bucket(b)) {
+          if (ct < s) pt.insert(e);
+          ++ct;
+        }
+        if (ct == s) tau_cut = true;
+      }
+      const bool valid = sigma_cut && tau_cut && ps == pt;
+      EXPECT_EQ(join_cut[s], valid) << "prefix " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,93 @@
+#include "access/medrank_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "access/medrank_engine.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(MedrankStreamTest, EmitsSameWinnersAsBatchEngine) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<BucketOrder> inputs;
+    const std::size_t m = 3 + static_cast<std::size_t>(trial % 4);
+    for (std::size_t i = 0; i < m; ++i) {
+      inputs.push_back(RandomBucketOrder(20, rng));
+    }
+    auto batch = MedrankTopK(inputs, 5);
+    ASSERT_TRUE(batch.ok());
+    MedrankStream stream(MakeSources(inputs));
+    for (ElementId expected : batch->winners) {
+      auto winner = stream.NextWinner();
+      ASSERT_TRUE(winner.has_value());
+      EXPECT_EQ(*winner, expected);
+    }
+  }
+}
+
+TEST(MedrankStreamTest, AccessesGrowMonotonically) {
+  Rng rng(2);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(RandomBucketOrder(50, rng));
+  MedrankStream stream(MakeSources(inputs));
+  std::int64_t last = 0;
+  for (int w = 0; w < 10; ++w) {
+    auto winner = stream.NextWinner();
+    ASSERT_TRUE(winner.has_value());
+    EXPECT_GE(stream.total_accesses(), last);
+    last = stream.total_accesses();
+  }
+  EXPECT_EQ(stream.winners().size(), 10u);
+}
+
+TEST(MedrankStreamTest, DrainsTheWholeDomain) {
+  Rng rng(3);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 3; ++i) inputs.push_back(RandomBucketOrder(12, rng));
+  MedrankStream stream(MakeSources(inputs));
+  std::set<ElementId> seen;
+  while (auto winner = stream.NextWinner()) {
+    EXPECT_TRUE(seen.insert(*winner).second) << "duplicate winner";
+  }
+  // Every element eventually reaches a majority of sightings.
+  EXPECT_EQ(seen.size(), 12u);
+  // Exhausted stream stays exhausted.
+  EXPECT_FALSE(stream.NextWinner().has_value());
+  // Total accesses equal m * n once everything is drained.
+  EXPECT_EQ(stream.total_accesses(), 3 * 12);
+}
+
+TEST(MedrankStreamTest, LazyConsumptionSavesAccesses) {
+  Rng rng(4);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(
+        BucketOrder::FromPermutation(Permutation::Random(2000, rng)));
+  }
+  MedrankStream stream(MakeSources(inputs));
+  auto first = stream.NextWinner();
+  ASSERT_TRUE(first.has_value());
+  // One winner should cost far less than reading everything.
+  EXPECT_LT(stream.total_accesses(), 5 * 2000 / 4);
+}
+
+TEST(MedrankStreamTest, EmptySourcesYieldNothing) {
+  MedrankStream stream({});
+  EXPECT_FALSE(stream.NextWinner().has_value());
+  EXPECT_EQ(stream.total_accesses(), 0);
+}
+
+TEST(MedrankStreamTest, MismatchedDomainsYieldNothing) {
+  std::vector<BucketOrder> inputs = {BucketOrder::SingleBucket(3),
+                                     BucketOrder::SingleBucket(5)};
+  MedrankStream stream(MakeSources(inputs));
+  EXPECT_FALSE(stream.NextWinner().has_value());
+}
+
+}  // namespace
+}  // namespace rankties

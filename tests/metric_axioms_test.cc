@@ -1,0 +1,99 @@
+// Systematic metric-axioms sweep: every metric x every workload shape x
+// several domain sizes, via testing::Combine. One logical test, hundreds
+// of instantiations — the broad safety net under the focused suites.
+
+#include <gtest/gtest.h>
+
+#include "core/metric_registry.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+enum class Shape { kUniform, kFewValued, kTopK, kQuantizedMallows, kFull };
+
+const char* ShapeName(Shape shape) {
+  switch (shape) {
+    case Shape::kUniform:
+      return "Uniform";
+    case Shape::kFewValued:
+      return "FewValued";
+    case Shape::kTopK:
+      return "TopK";
+    case Shape::kQuantizedMallows:
+      return "QuantizedMallows";
+    case Shape::kFull:
+      return "Full";
+  }
+  return "?";
+}
+
+BucketOrder Sample(Shape shape, std::size_t n, Rng& rng) {
+  switch (shape) {
+    case Shape::kUniform:
+      return RandomBucketOrder(n, rng);
+    case Shape::kFewValued:
+      return RandomFewValued(n, 3.0, rng);
+    case Shape::kTopK:
+      return RandomTopK(n, n / 3 + 1, rng);
+    case Shape::kQuantizedMallows:
+      return QuantizedMallows(Permutation(n), 0.6,
+                              std::max<std::size_t>(1, n / 4), rng);
+    case Shape::kFull:
+      return BucketOrder::FromPermutation(Permutation::Random(n, rng));
+  }
+  return BucketOrder::SingleBucket(n);
+}
+
+using AxiomParam = std::tuple<MetricKind, Shape, std::size_t>;
+
+class MetricAxiomsTest : public ::testing::TestWithParam<AxiomParam> {};
+
+TEST_P(MetricAxiomsTest, MetricAxiomsHold) {
+  const auto [kind, shape, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(kind) * 1000003 +
+          static_cast<std::uint64_t>(shape) * 1009 + n);
+  const MetricFn dist = MetricFunction(kind);
+  for (int trial = 0; trial < 12; ++trial) {
+    const BucketOrder x = Sample(shape, n, rng);
+    const BucketOrder y = Sample(shape, n, rng);
+    const BucketOrder z = Sample(shape, n, rng);
+    const double dxy = dist(x, y);
+    // Nonnegativity + identity.
+    ASSERT_GE(dxy, 0.0);
+    ASSERT_EQ(dist(x, x), 0.0);
+    // Regularity.
+    if (!(x == y)) {
+      ASSERT_GT(dxy, 0.0);
+    }
+    // Symmetry (exact: all four metrics are integer/half-integer valued).
+    ASSERT_EQ(dxy, dist(y, x));
+    // Triangle inequality.
+    ASSERT_LE(dist(x, z), dxy + dist(y, z) + 1e-9);
+  }
+}
+
+std::string AxiomParamName(
+    const ::testing::TestParamInfo<AxiomParam>& info) {
+  const auto [kind, shape, n] = info.param;
+  return std::string(MetricName(kind)) + "_" + ShapeName(shape) + "_n" +
+         std::to_string(n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricAxiomsTest,
+    ::testing::Combine(::testing::Values(MetricKind::kKprof,
+                                         MetricKind::kFprof,
+                                         MetricKind::kKHaus,
+                                         MetricKind::kFHaus),
+                       ::testing::Values(Shape::kUniform, Shape::kFewValued,
+                                         Shape::kTopK,
+                                         Shape::kQuantizedMallows,
+                                         Shape::kFull),
+                       ::testing::Values<std::size_t>(2, 5, 9, 17, 33)),
+    AxiomParamName);
+
+}  // namespace
+}  // namespace rankties

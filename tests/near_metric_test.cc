@@ -1,0 +1,93 @@
+#include "core/near_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "core/profile_metrics.h"
+#include "gen/random_orders.h"
+
+namespace rankties {
+namespace {
+
+OrderSampler Sampler(std::size_t n) {
+  return [n](Rng& rng) { return RandomBucketOrder(n, rng); };
+}
+
+MetricFn KendallPFn(double p) {
+  return [p](const BucketOrder& a, const BucketOrder& b) {
+    return KendallP(a, b, p);
+  };
+}
+
+TEST(NearMetricTest, MetricsShowNoTriangleViolations) {
+  Rng rng(1);
+  for (MetricKind kind : AllMetricKinds()) {
+    const TriangleProbe probe = ProbeTriangleInequality(
+        MetricFunction(kind), Sampler(8), 300, rng);
+    EXPECT_EQ(probe.violations, 0) << MetricName(kind);
+    EXPECT_LE(probe.worst_ratio, 1.0 + 1e-12) << MetricName(kind);
+  }
+}
+
+TEST(NearMetricTest, SmallPenaltyViolatesTriangle) {
+  // p = 0.2 < 1/2: a near metric but not a metric — violations exist and
+  // the worst ratio stays bounded (relaxed polygonal inequality).
+  Rng rng(2);
+  const TriangleProbe probe =
+      ProbeTriangleInequality(KendallPFn(0.2), Sampler(6), 4000, rng);
+  EXPECT_GT(probe.violations, 0);
+  // K^(p) <= (1/(2p)) K^(1/2)-triangle bound => ratio <= 1/(2*0.2) = 2.5.
+  EXPECT_LE(probe.worst_ratio, 2.5 + 1e-9);
+}
+
+TEST(NearMetricTest, ZeroPenaltyBreaksRegularity) {
+  Rng rng(3);
+  const std::int64_t violations =
+      ProbeDistanceMeasureAxioms(KendallPFn(0.0), Sampler(5), 400, rng);
+  EXPECT_GT(violations, 0);  // distinct orders at distance 0
+}
+
+TEST(NearMetricTest, MetricsPassDistanceMeasureAxioms) {
+  Rng rng(4);
+  for (MetricKind kind : AllMetricKinds()) {
+    EXPECT_EQ(
+        ProbeDistanceMeasureAxioms(MetricFunction(kind), Sampler(7), 200, rng),
+        0)
+        << MetricName(kind);
+  }
+}
+
+TEST(NearMetricTest, EquivalenceBandsRespectTheorem7) {
+  Rng rng(5);
+  struct Case {
+    MetricKind a, b;
+    double lo, hi;
+  };
+  // The proved bands: K <= F <= 2K in all flavors; Kprof <= KHaus <= 2Kprof.
+  const Case cases[] = {
+      {MetricKind::kKHaus, MetricKind::kFHaus, 0.5, 1.0},
+      {MetricKind::kKprof, MetricKind::kFprof, 0.5, 1.0},
+      {MetricKind::kKprof, MetricKind::kKHaus, 0.5, 1.0},
+  };
+  for (const Case& c : cases) {
+    const EquivalenceBand band = EstimateEquivalenceBand(
+        MetricFunction(c.a), MetricFunction(c.b), Sampler(10), 400, rng);
+    EXPECT_GT(band.samples, 0);
+    EXPECT_EQ(band.zero_mismatches, 0);
+    EXPECT_GE(band.min_ratio, c.lo - 1e-12)
+        << MetricName(c.a) << "/" << MetricName(c.b);
+    EXPECT_LE(band.max_ratio, c.hi + 1e-12)
+        << MetricName(c.a) << "/" << MetricName(c.b);
+  }
+}
+
+TEST(NearMetricTest, PenaltyFamilyBandMatchesTheory) {
+  // K^(p) / K^(q) in [p/q, 1] for p < q (paper A.2 proof of Prop. 13).
+  Rng rng(6);
+  const EquivalenceBand band = EstimateEquivalenceBand(
+      KendallPFn(0.25), KendallPFn(0.75), Sampler(9), 400, rng);
+  EXPECT_GE(band.min_ratio, 0.25 / 0.75 - 1e-12);
+  EXPECT_LE(band.max_ratio, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,59 @@
+#include "core/normalization.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(NormalizationTest, MaximaAreAttainedByReversal) {
+  for (std::size_t n : {2u, 3u, 5u, 8u, 13u}) {
+    const BucketOrder id = BucketOrder::FromPermutation(Permutation(n));
+    const BucketOrder rev = id.Reverse();
+    for (MetricKind kind : AllMetricKinds()) {
+      EXPECT_DOUBLE_EQ(ComputeMetric(kind, id, rev), MaxMetricValue(kind, n))
+          << MetricName(kind) << " n=" << n;
+      EXPECT_DOUBLE_EQ(NormalizedMetric(kind, id, rev), 1.0);
+      EXPECT_DOUBLE_EQ(MetricSimilarity(kind, id, rev), -1.0);
+    }
+  }
+}
+
+TEST(NormalizationTest, RandomPairsStayInUnitInterval) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 6u, 15u, 40u}) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const BucketOrder a = RandomBucketOrder(n, rng);
+      const BucketOrder b = RandomBucketOrder(n, rng);
+      for (MetricKind kind : AllMetricKinds()) {
+        const double d = NormalizedMetric(kind, a, b);
+        EXPECT_GE(d, 0.0) << MetricName(kind);
+        EXPECT_LE(d, 1.0) << MetricName(kind);
+        const double s = MetricSimilarity(kind, a, b);
+        EXPECT_GE(s, -1.0);
+        EXPECT_LE(s, 1.0);
+      }
+    }
+  }
+}
+
+TEST(NormalizationTest, IdentityHasSimilarityOne) {
+  Rng rng(2);
+  const BucketOrder a = RandomBucketOrder(10, rng);
+  for (MetricKind kind : AllMetricKinds()) {
+    EXPECT_DOUBLE_EQ(NormalizedMetric(kind, a, a), 0.0);
+    EXPECT_DOUBLE_EQ(MetricSimilarity(kind, a, a), 1.0);
+  }
+}
+
+TEST(NormalizationTest, TinyDomains) {
+  const BucketOrder one = BucketOrder::SingleBucket(1);
+  for (MetricKind kind : AllMetricKinds()) {
+    EXPECT_DOUBLE_EQ(NormalizedMetric(kind, one, one), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rankties

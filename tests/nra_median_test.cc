@@ -1,0 +1,118 @@
+#include "access/nra_median.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/median_rank.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+// The returned set must be a genuine top-k of the offline lower-median
+// scores: its worst member is no worse than the best non-member.
+void ExpectExactTopKSet(const std::vector<BucketOrder>& inputs,
+                        const NraMedianResult& result, std::size_t k) {
+  auto offline = MedianRankScoresQuad(inputs, MedianPolicy::kLower);
+  ASSERT_TRUE(offline.ok());
+  ASSERT_EQ(result.top.size(), k);
+  std::set<ElementId> chosen(result.top.begin(), result.top.end());
+  ASSERT_EQ(chosen.size(), k) << "duplicate winners";
+  std::int64_t worst_in = std::numeric_limits<std::int64_t>::min();
+  std::int64_t best_out = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t e = 0; e < offline->size(); ++e) {
+    if (chosen.count(static_cast<ElementId>(e))) {
+      worst_in = std::max(worst_in, (*offline)[e]);
+    } else {
+      best_out = std::min(best_out, (*offline)[e]);
+    }
+  }
+  EXPECT_LE(worst_in, best_out);
+}
+
+TEST(NraMedianTest, ExactTopKOnRandomPartialRankings) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 3 + static_cast<std::size_t>(trial % 4);
+    std::vector<BucketOrder> inputs;
+    for (std::size_t i = 0; i < m; ++i) {
+      inputs.push_back(RandomBucketOrder(25, rng));
+    }
+    for (std::size_t k : {1u, 3u, 10u, 25u}) {
+      auto result = NraMedianTopK(inputs, k);
+      ASSERT_TRUE(result.ok()) << result.status();
+      ExpectExactTopKSet(inputs, *result, k);
+    }
+  }
+}
+
+TEST(NraMedianTest, ExactTopKOnFewValuedInputs) {
+  // Heavy ties: the regime where majority-MEDRANK's depth order deviates
+  // most from the median order — NRA must still be exact.
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 5; ++i) {
+      inputs.push_back(RandomFewValued(40, 8.0, rng));
+    }
+    auto result = NraMedianTopK(inputs, 5);
+    ASSERT_TRUE(result.ok());
+    ExpectExactTopKSet(inputs, *result, 5);
+  }
+}
+
+TEST(NraMedianTest, SublinearAccessOnCorrelatedInputs) {
+  Rng rng(3);
+  const std::size_t n = 2000;
+  const Permutation center(n);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(
+        BucketOrder::FromPermutation(MallowsSample(center, 0.3, rng)));
+  }
+  auto result = NraMedianTopK(inputs, 3);
+  ASSERT_TRUE(result.ok());
+  ExpectExactTopKSet(inputs, *result, 3);
+  EXPECT_LT(result->total_accesses, static_cast<std::int64_t>(5 * n / 2));
+}
+
+TEST(NraMedianTest, EvenVoterCountUsesLowerMedian) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 4; ++i) inputs.push_back(RandomBucketOrder(15, rng));
+    auto result = NraMedianTopK(inputs, 4);
+    ASSERT_TRUE(result.ok());
+    ExpectExactTopKSet(inputs, *result, 4);
+  }
+}
+
+TEST(NraMedianTest, FullDomainReturnsEverything) {
+  Rng rng(5);
+  std::vector<BucketOrder> inputs = {RandomBucketOrder(8, rng),
+                                     RandomBucketOrder(8, rng),
+                                     RandomBucketOrder(8, rng)};
+  auto result = NraMedianTopK(inputs, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->top.size(), 8u);
+}
+
+TEST(NraMedianTest, Validation) {
+  EXPECT_FALSE(NraMedianTopK(std::vector<BucketOrder>{}, 1).ok());
+  std::vector<BucketOrder> mixed = {BucketOrder::SingleBucket(3),
+                                    BucketOrder::SingleBucket(4)};
+  EXPECT_FALSE(NraMedianTopK(mixed, 1).ok());
+  std::vector<BucketOrder> small = {BucketOrder::SingleBucket(3)};
+  EXPECT_FALSE(NraMedianTopK(small, 5).ok());
+  auto empty = NraMedianTopK(small, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->top.empty());
+  EXPECT_EQ(empty->total_accesses, 0);
+}
+
+}  // namespace
+}  // namespace rankties

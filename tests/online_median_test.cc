@@ -1,0 +1,78 @@
+#include "core/online_median.h"
+
+#include <gtest/gtest.h>
+
+#include "core/median_rank.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(OnlineMedianTest, MatchesBatchAfterEveryVoter) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 12;
+    OnlineMedianAggregator online(n);
+    std::vector<BucketOrder> so_far;
+    for (int v = 0; v < 9; ++v) {
+      const BucketOrder voter = RandomBucketOrder(n, rng);
+      ASSERT_TRUE(online.AddVoter(voter).ok());
+      so_far.push_back(voter);
+      auto incremental = online.ScoresQuad();
+      auto batch = MedianRankScoresQuad(so_far, MedianPolicy::kLower);
+      ASSERT_TRUE(incremental.ok() && batch.ok());
+      ASSERT_EQ(*incremental, *batch) << "after voter " << v;
+      auto full_online = online.CurrentFull();
+      auto full_batch = MedianAggregateFull(so_far, MedianPolicy::kLower);
+      ASSERT_TRUE(full_online.ok() && full_batch.ok());
+      EXPECT_EQ(*full_online, *full_batch);
+    }
+  }
+}
+
+TEST(OnlineMedianTest, HeavyTieWorkload) {
+  // Lots of duplicate positions exercise the equal-key median tracking.
+  Rng rng(2);
+  const std::size_t n = 20;
+  OnlineMedianAggregator online(n);
+  std::vector<BucketOrder> so_far;
+  for (int v = 0; v < 12; ++v) {
+    const BucketOrder voter = RandomFewValued(n, 8.0, rng);
+    ASSERT_TRUE(online.AddVoter(voter).ok());
+    so_far.push_back(voter);
+    auto incremental = online.ScoresQuad();
+    auto batch = MedianRankScoresQuad(so_far, MedianPolicy::kLower);
+    ASSERT_TRUE(incremental.ok() && batch.ok());
+    ASSERT_EQ(*incremental, *batch) << "after voter " << v;
+  }
+}
+
+TEST(OnlineMedianTest, TopKConsistent) {
+  Rng rng(3);
+  OnlineMedianAggregator online(10);
+  std::vector<BucketOrder> so_far;
+  for (int v = 0; v < 5; ++v) {
+    const BucketOrder voter = RandomBucketOrder(10, rng);
+    ASSERT_TRUE(online.AddVoter(voter).ok());
+    so_far.push_back(voter);
+  }
+  auto online_topk = online.CurrentTopK(3);
+  auto batch_topk = MedianAggregateTopK(so_far, 3, MedianPolicy::kLower);
+  ASSERT_TRUE(online_topk.ok() && batch_topk.ok());
+  EXPECT_EQ(*online_topk, *batch_topk);
+}
+
+TEST(OnlineMedianTest, Validation) {
+  OnlineMedianAggregator online(5);
+  EXPECT_FALSE(online.ScoresQuad().ok());  // no voters yet
+  EXPECT_FALSE(online.CurrentFull().ok());
+  EXPECT_FALSE(online.AddVoter(BucketOrder::SingleBucket(7)).ok());
+  ASSERT_TRUE(online.AddVoter(BucketOrder::SingleBucket(5)).ok());
+  EXPECT_EQ(online.num_voters(), 1u);
+  EXPECT_FALSE(online.CurrentTopK(9).ok());
+  EXPECT_TRUE(online.CurrentTopK(2).ok());
+}
+
+}  // namespace
+}  // namespace rankties

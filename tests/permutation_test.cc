@@ -1,0 +1,90 @@
+#include "rank/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(PermutationTest, IdentityRanks) {
+  Permutation p(4);
+  for (ElementId e = 0; e < 4; ++e) {
+    EXPECT_EQ(p.Rank(e), e);
+    EXPECT_EQ(p.At(e), e);
+  }
+}
+
+TEST(PermutationTest, FromRanksAndOrderAgree) {
+  auto from_ranks = Permutation::FromRanks({2, 0, 1});
+  ASSERT_TRUE(from_ranks.ok());
+  // Element 0 at rank 2, element 1 at rank 0, element 2 at rank 1.
+  EXPECT_EQ(from_ranks->At(0), 1);
+  EXPECT_EQ(from_ranks->At(1), 2);
+  EXPECT_EQ(from_ranks->At(2), 0);
+
+  auto from_order = Permutation::FromOrder({1, 2, 0});
+  ASSERT_TRUE(from_order.ok());
+  EXPECT_EQ(*from_order, *from_ranks);
+}
+
+TEST(PermutationTest, RejectsNonBijection) {
+  EXPECT_FALSE(Permutation::FromRanks({0, 0, 1}).ok());
+  EXPECT_FALSE(Permutation::FromRanks({0, 3, 1}).ok());
+  EXPECT_FALSE(Permutation::FromOrder({0, -1, 1}).ok());
+}
+
+TEST(PermutationTest, ReverseFlipsRanks) {
+  auto p = Permutation::FromOrder({2, 0, 1, 3});
+  ASSERT_TRUE(p.ok());
+  const Permutation r = p->Reverse();
+  for (ElementId e = 0; e < 4; ++e) {
+    EXPECT_EQ(r.Rank(e), 3 - p->Rank(e));
+  }
+  EXPECT_EQ(r.Reverse(), *p);
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  Rng rng(3);
+  const Permutation p = Permutation::Random(8, rng);
+  const Permutation inv = p.Inverse();
+  for (ElementId e = 0; e < 8; ++e) {
+    EXPECT_EQ(inv.Rank(p.Rank(e)), e);
+  }
+}
+
+TEST(PermutationTest, RandomIsValidAndVaries) {
+  Rng rng(11);
+  const Permutation a = Permutation::Random(50, rng);
+  const Permutation b = Permutation::Random(50, rng);
+  std::vector<bool> seen(50, false);
+  for (ElementId r = 0; r < 50; ++r) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(a.At(r))]);
+    seen[static_cast<std::size_t>(a.At(r))] = true;
+  }
+  EXPECT_FALSE(a == b);  // astronomically unlikely to collide
+}
+
+TEST(PermutationTest, RandomIsDeterministicPerSeed) {
+  Rng rng1(42), rng2(42);
+  EXPECT_EQ(Permutation::Random(20, rng1), Permutation::Random(20, rng2));
+}
+
+TEST(PermutationTest, AheadAndToString) {
+  auto p = Permutation::FromOrder({2, 0, 1});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Ahead(2, 0));
+  EXPECT_FALSE(p->Ahead(1, 0));
+  EXPECT_EQ(p->ToString(), "(2 0 1)");
+}
+
+TEST(PermutationTest, EmptyDomain) {
+  Permutation p(0);
+  EXPECT_EQ(p.n(), 0u);
+  EXPECT_EQ(p.ToString(), "()");
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,122 @@
+#include "db/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(SimilarityTest, BuildValidation) {
+  EXPECT_FALSE(SimilarityIndex::Build({}).ok());
+  EXPECT_FALSE(SimilarityIndex::Build({{}}).ok());
+  EXPECT_FALSE(SimilarityIndex::Build({{1, 2}, {3}}).ok());
+  auto ok = SimilarityIndex::Build({{1, 2}, {3, 4}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+  EXPECT_EQ(ok->dimensions(), 2u);
+}
+
+TEST(SimilarityTest, ExactMatchIsItsOwnNearestNeighbor) {
+  auto index = SimilarityIndex::Build({{0, 0}, {5, 5}, {9, 1}, {2, 8}});
+  ASSERT_TRUE(index.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<double> queries[] = {
+        {0, 0}, {5, 5}, {9, 1}, {2, 8}};
+    auto result = index->Nearest(queries[i], 1);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->neighbors.size(), 1u);
+    EXPECT_EQ(result->neighbors[0], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(SimilarityTest, RecoversEuclideanNeighborsOnSeparatedClusters) {
+  // Two well-separated Gaussian blobs: rank aggregation must put same-blob
+  // points ahead of other-blob points.
+  Rng rng(1);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({rng.Normal(0, 1), rng.Normal(0, 1), rng.Normal(0, 1)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    points.push_back(
+        {rng.Normal(20, 1), rng.Normal(20, 1), rng.Normal(20, 1)});
+  }
+  auto index = SimilarityIndex::Build(points);
+  ASSERT_TRUE(index.ok());
+  auto near_blob0 = index->Nearest({0.5, -0.5, 0.0}, 10);
+  ASSERT_TRUE(near_blob0.ok());
+  for (std::int32_t neighbor : near_blob0->neighbors) {
+    EXPECT_LT(neighbor, 30) << "neighbor from the wrong blob";
+  }
+}
+
+TEST(SimilarityTest, ScaleFreeAcrossFeatures) {
+  // Feature 1 in units 1000x feature 0: rank aggregation is unaffected
+  // (the whole point vs raw-distance combination).
+  Rng rng(2);
+  std::vector<std::vector<double>> base;
+  for (int i = 0; i < 40; ++i) {
+    base.push_back({rng.UniformReal(0, 1), rng.UniformReal(0, 1)});
+  }
+  std::vector<std::vector<double>> scaled = base;
+  for (auto& point : scaled) point[1] *= 1000.0;
+  auto index_base = SimilarityIndex::Build(base);
+  auto index_scaled = SimilarityIndex::Build(scaled);
+  ASSERT_TRUE(index_base.ok() && index_scaled.ok());
+  auto a = index_base->Nearest({0.5, 0.5}, 5);
+  auto b = index_scaled->Nearest({0.5, 500.0}, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->neighbors, b->neighbors);
+}
+
+TEST(SimilarityTest, ClassificationOnBlobs) {
+  Rng rng(3);
+  std::vector<std::vector<double>> points;
+  std::vector<std::string> labels;
+  for (int i = 0; i < 25; ++i) {
+    points.push_back({rng.Normal(0, 1), rng.Normal(0, 1)});
+    labels.push_back("red");
+  }
+  for (int i = 0; i < 25; ++i) {
+    points.push_back({rng.Normal(10, 1), rng.Normal(10, 1)});
+    labels.push_back("blue");
+  }
+  auto index = SimilarityIndex::Build(points);
+  ASSERT_TRUE(index.ok());
+  auto red = index->Classify({0.2, -0.3}, labels, 7);
+  auto blue = index->Classify({9.8, 10.5}, labels, 7);
+  ASSERT_TRUE(red.ok() && blue.ok());
+  EXPECT_EQ(*red, "red");
+  EXPECT_EQ(*blue, "blue");
+}
+
+TEST(SimilarityTest, AccessesAreSublinear) {
+  Rng rng(4);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back({rng.UniformReal(0, 100), rng.UniformReal(0, 100),
+                      rng.UniformReal(0, 100), rng.UniformReal(0, 100),
+                      rng.UniformReal(0, 100)});
+  }
+  auto index = SimilarityIndex::Build(points);
+  ASSERT_TRUE(index.ok());
+  auto result = index->Nearest({50, 50, 50, 50, 50}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->sorted_accesses,
+            static_cast<std::int64_t>(5 * 2000 / 2));
+}
+
+TEST(SimilarityTest, Validation) {
+  auto index = SimilarityIndex::Build({{1, 2}, {3, 4}, {5, 6}});
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Nearest({1}, 1).ok());          // dim mismatch
+  EXPECT_FALSE(index->Nearest({1, 2}, 9).ok());       // k too big
+  EXPECT_FALSE(index->Classify({1, 2}, {"a"}, 1).ok());  // label count
+  EXPECT_FALSE(index->Classify({1, 2}, {"a", "b", "c"}, 0).ok());
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,111 @@
+#include "access/ta_median.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "access/nra_median.h"
+#include "core/median_rank.h"
+#include "gen/mallows.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+// TA returns the exact (score, id)-lexicographic top-k with exact scores.
+void ExpectExactOrderedTopK(const std::vector<BucketOrder>& inputs,
+                            const TaMedianResult& result, std::size_t k) {
+  auto offline = MedianRankScoresQuad(inputs, MedianPolicy::kLower);
+  ASSERT_TRUE(offline.ok());
+  std::vector<std::pair<std::int64_t, ElementId>> all;
+  for (std::size_t e = 0; e < offline->size(); ++e) {
+    all.emplace_back((*offline)[e], static_cast<ElementId>(e));
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(result.top.size(), k);
+  ASSERT_EQ(result.scores_quad.size(), k);
+  for (std::size_t r = 0; r < k; ++r) {
+    EXPECT_EQ(result.top[r], all[r].second) << "rank " << r;
+    EXPECT_EQ(result.scores_quad[r], all[r].first) << "rank " << r;
+  }
+}
+
+TEST(TaMedianTest, ExactOrderedTopKOnRandomInputs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 3 + static_cast<std::size_t>(trial % 4);
+    std::vector<BucketOrder> inputs;
+    for (std::size_t i = 0; i < m; ++i) {
+      inputs.push_back(RandomBucketOrder(20, rng));
+    }
+    for (std::size_t k : {1u, 4u, 20u}) {
+      auto result = TaMedianTopK(inputs, k);
+      ASSERT_TRUE(result.ok()) << result.status();
+      ExpectExactOrderedTopK(inputs, *result, k);
+    }
+  }
+}
+
+TEST(TaMedianTest, ExactOnFewValuedInputs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 5; ++i) {
+      inputs.push_back(RandomFewValued(30, 6.0, rng));
+    }
+    auto result = TaMedianTopK(inputs, 5);
+    ASSERT_TRUE(result.ok());
+    ExpectExactOrderedTopK(inputs, *result, 5);
+  }
+}
+
+TEST(TaMedianTest, StopsEarlyOnCorrelatedInputs) {
+  Rng rng(3);
+  const std::size_t n = 3000;
+  const Permutation center(n);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(
+        BucketOrder::FromPermutation(MallowsSample(center, 0.3, rng)));
+  }
+  auto result = TaMedianTopK(inputs, 3);
+  ASSERT_TRUE(result.ok());
+  ExpectExactOrderedTopK(inputs, *result, 3);
+  EXPECT_LT(result->sorted_accesses, static_cast<std::int64_t>(n));
+  // TA buys earlier stopping with random accesses.
+  EXPECT_GT(result->random_accesses, 0);
+}
+
+TEST(TaMedianTest, NeverMoreSortedAccessesThanNra) {
+  // TA's threshold certifies at least as early as NRA's bounds on the
+  // same access sequence (TA knows exact scores for everything seen).
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 5; ++i) {
+      inputs.push_back(RandomFewValued(100, 5.0, rng));
+    }
+    auto ta = TaMedianTopK(inputs, 5);
+    auto nra = NraMedianTopK(inputs, 5);
+    ASSERT_TRUE(ta.ok() && nra.ok());
+    // NRA amortizes its certification checks, so give it the slack of a
+    // few rounds (5 lists per round).
+    EXPECT_LE(ta->sorted_accesses, nra->total_accesses + 64 * 5);
+  }
+}
+
+TEST(TaMedianTest, Validation) {
+  EXPECT_FALSE(TaMedianTopK({}, 1).ok());
+  std::vector<BucketOrder> mixed = {BucketOrder::SingleBucket(3),
+                                    BucketOrder::SingleBucket(4)};
+  EXPECT_FALSE(TaMedianTopK(mixed, 1).ok());
+  std::vector<BucketOrder> small = {BucketOrder::SingleBucket(3)};
+  EXPECT_FALSE(TaMedianTopK(small, 5).ok());
+  auto empty = TaMedianTopK(small, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->top.empty());
+}
+
+}  // namespace
+}  // namespace rankties

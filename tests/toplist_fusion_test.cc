@@ -1,0 +1,59 @@
+#include "core/toplist_fusion.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rankties {
+namespace {
+
+TEST(FuseTopListsTest, ConsensusItemWins) {
+  // Item 7 appears near the top of every engine; 99 only in one.
+  auto fused = FuseTopLists({{7, 1, 2}, {3, 7, 4}, {7, 99}}, 1);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_EQ(fused->items.size(), 1u);
+  EXPECT_EQ(fused->items[0], 7);
+}
+
+TEST(FuseTopListsTest, FullOutputCoversActiveDomain) {
+  auto fused = FuseTopLists({{10, 20}, {30}}, 0);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(fused->items.size(), 3u);
+  std::vector<std::int64_t> sorted = fused->items;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::int64_t>{10, 20, 30}));
+  // Scores are aligned and nondecreasing down the fused list.
+  for (std::size_t r = 1; r < fused->scores_quad.size(); ++r) {
+    EXPECT_LE(fused->scores_quad[r - 1], fused->scores_quad[r]);
+  }
+}
+
+TEST(FuseTopListsTest, UnlistedItemsRankBehindListedOnes) {
+  // With 3 engines, an item in 2 tops beats an item in 1 top of equal rank.
+  auto fused = FuseTopLists({{1, 2}, {1, 3}, {4, 5}}, 0);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(fused->items[0], 1);  // two first-place votes
+}
+
+TEST(FuseTopListsTest, Validation) {
+  EXPECT_FALSE(FuseTopLists({}).ok());
+  EXPECT_FALSE(FuseTopLists({{}, {}}).ok());
+  EXPECT_FALSE(FuseTopLists({{5, 5}}).ok());
+  auto single = FuseTopLists({{42}}, 5);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->items, (std::vector<std::int64_t>{42}));
+}
+
+TEST(FuseTopListsTest, PolicyAffectsEvenEngineCounts) {
+  // Two engines disagreeing: lower vs upper median differ.
+  const std::vector<std::vector<std::int64_t>> tops = {{1, 2, 3}, {3, 2, 1}};
+  auto lower = FuseTopLists(tops, 0, MedianPolicy::kLower);
+  auto upper = FuseTopLists(tops, 0, MedianPolicy::kUpper);
+  ASSERT_TRUE(lower.ok() && upper.ok());
+  // Item 2 is rank 2 for both engines; items 1 and 3 are {1,3}. Lower
+  // median ranks 1,2,3 all at score<=2; upper median pushes 1 and 3 to 3.
+  EXPECT_EQ(upper->items[0], 2);
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/fenwick.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace rankties {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, UndefinedCode) {
+  Status s = Status::Undefined("gamma");
+  EXPECT_EQ(s.code(), StatusCode::kUndefined);
+  EXPECT_EQ(std::string(StatusCodeName(s.code())), "UNDEFINED");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(FenwickTest, PrefixSums) {
+  Fenwick<std::int64_t> tree(8);
+  tree.Add(0, 3);
+  tree.Add(3, 5);
+  tree.Add(7, 2);
+  EXPECT_EQ(tree.PrefixSum(0), 3);
+  EXPECT_EQ(tree.PrefixSum(2), 3);
+  EXPECT_EQ(tree.PrefixSum(3), 8);
+  EXPECT_EQ(tree.PrefixSum(7), 10);
+  EXPECT_EQ(tree.Total(), 10);
+  EXPECT_EQ(tree.RangeSum(1, 3), 5);
+  EXPECT_EQ(tree.RangeSum(4, 6), 0);
+  EXPECT_EQ(tree.RangeSum(5, 4), 0);
+}
+
+TEST(FenwickTest, MatchesNaiveOnRandomOps) {
+  Rng rng(1);
+  Fenwick<std::int64_t> tree(50);
+  std::vector<std::int64_t> naive(50, 0);
+  for (int op = 0; op < 500; ++op) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.UniformInt(0, 49));
+    const std::int64_t delta = rng.UniformInt(-5, 5);
+    tree.Add(i, delta);
+    naive[i] += delta;
+    const std::size_t q = static_cast<std::size_t>(rng.UniformInt(0, 49));
+    std::int64_t expected = 0;
+    for (std::size_t j = 0; j <= q; ++j) expected += naive[j];
+    ASSERT_EQ(tree.PrefixSum(q), expected);
+  }
+}
+
+TEST(FenwickTest, ClearResets) {
+  Fenwick<std::int64_t> tree(4);
+  tree.Add(2, 9);
+  tree.Clear();
+  EXPECT_EQ(tree.Total(), 0);
+}
+
+TEST(StatsTest, SummaryOfKnownSample) {
+  const Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+}
+
+TEST(StatsTest, EmptySampleIsZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(StatsTest, PercentileNearestRank) {
+  EXPECT_DOUBLE_EQ(Percentile({5, 1, 3, 2, 4}, 0.0), 1);
+  EXPECT_DOUBLE_EQ(Percentile({5, 1, 3, 2, 4}, 1.0), 5);
+  EXPECT_DOUBLE_EQ(Percentile({5, 1, 3, 2, 4}, 0.5), 3);
+}
+
+TEST(StatsTest, OnlineStats) {
+  OnlineStats s;
+  s.Add(2);
+  s.Add(6);
+  s.Add(4);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4);
+  EXPECT_DOUBLE_EQ(s.min(), 2);
+  EXPECT_DOUBLE_EQ(s.max(), 6);
+}
+
+TEST(CombinatoricsTest, CompositionsEnumerateExactlyOnce) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 7u}) {
+    std::set<std::vector<std::size_t>> seen;
+    std::uint64_t count = 0;
+    ForEachComposition(n, [&](const std::vector<std::size_t>& parts) {
+      std::size_t total = 0;
+      for (std::size_t p : parts) {
+        EXPECT_GT(p, 0u);
+        total += p;
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_TRUE(seen.insert(parts).second) << "duplicate composition";
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, NumCompositions(n));
+    EXPECT_EQ(count, 1ULL << (n - 1));
+  }
+}
+
+TEST(CombinatoricsTest, EarlyStopAndEdgeCases) {
+  int visits = 0;
+  ForEachComposition(6, [&](const std::vector<std::size_t>&) {
+    return ++visits < 5;
+  });
+  EXPECT_EQ(visits, 5);
+  ForEachComposition(0, [&](const std::vector<std::size_t>&) {
+    ADD_FAILURE() << "n=0 should visit nothing";
+    return true;
+  });
+  // Bits 0 and 2 set: boundaries after positions 1 and 3 -> parts 1,2,1.
+  EXPECT_EQ(CompositionFromMask(4, 0b101),
+            (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(CombinatoricsTest, FactorialAndBinomial) {
+  EXPECT_EQ(Factorial(0), 1);
+  EXPECT_EQ(Factorial(5), 120);
+  EXPECT_EQ(Factorial(20), 2432902008176640000LL);
+  EXPECT_EQ(Factorial(21), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(Binomial(5, 2), 10);
+  EXPECT_EQ(Binomial(10, 0), 1);
+  EXPECT_EQ(Binomial(4, 7), 0);
+}
+
+TEST(CombinatoricsTest, FubiniNumbers) {
+  // OEIS A000670: 1, 1, 3, 13, 75, 541, 4683, 47293.
+  const std::int64_t expected[] = {1, 1, 3, 13, 75, 541, 4683, 47293};
+  for (std::size_t n = 0; n < std::size(expected); ++n) {
+    EXPECT_EQ(FubiniNumber(n), expected[n]) << n;
+  }
+  EXPECT_EQ(FubiniNumber(40), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,118 @@
+#include "core/weighted.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/median_rank.h"
+#include "gen/random_orders.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+TEST(WeightedMedianTest, UnitWeightsMatchUnweighted) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 5; ++i) inputs.push_back(RandomBucketOrder(9, rng));
+    const std::vector<std::int64_t> ones(inputs.size(), 1);
+    auto weighted = WeightedMedianScoresQuad(inputs, ones);
+    auto plain = MedianRankScoresQuad(inputs, MedianPolicy::kLower);
+    ASSERT_TRUE(weighted.ok() && plain.ok());
+    EXPECT_EQ(*weighted, *plain);
+  }
+}
+
+TEST(WeightedMedianTest, WeightsEquivalentToReplication) {
+  // Weight w on a voter == listing that voter w times.
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    for (int i = 0; i < 3; ++i) inputs.push_back(RandomBucketOrder(8, rng));
+    const std::vector<std::int64_t> weights = {3, 1, 2};
+    std::vector<BucketOrder> replicated;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (std::int64_t w = 0; w < weights[i]; ++w) {
+        replicated.push_back(inputs[i]);
+      }
+    }
+    auto weighted = WeightedMedianScoresQuad(inputs, weights);
+    auto plain = MedianRankScoresQuad(replicated, MedianPolicy::kLower);
+    ASSERT_TRUE(weighted.ok() && plain.ok());
+    EXPECT_EQ(*weighted, *plain);
+  }
+}
+
+TEST(WeightedMedianTest, DominantVoterDictates) {
+  Rng rng(3);
+  const BucketOrder boss = RandomBucketOrder(10, rng);
+  std::vector<BucketOrder> inputs = {boss, RandomBucketOrder(10, rng),
+                                     RandomBucketOrder(10, rng)};
+  auto full = WeightedMedianAggregateFull(inputs, {100, 1, 1});
+  ASSERT_TRUE(full.ok());
+  // The weighted median equals the boss's positions exactly.
+  auto scores = WeightedMedianScoresQuad(inputs, {100, 1, 1});
+  ASSERT_TRUE(scores.ok());
+  for (ElementId e = 0; e < 10; ++e) {
+    EXPECT_EQ((*scores)[static_cast<std::size_t>(e)],
+              2 * boss.TwicePosition(e));
+  }
+}
+
+TEST(WeightedMedianTest, WeightedLemma8) {
+  // The weighted median minimizes the weighted L1 objective over random
+  // competitors.
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BucketOrder> inputs;
+    std::vector<std::int64_t> weights;
+    for (int i = 0; i < 5; ++i) {
+      inputs.push_back(RandomBucketOrder(7, rng));
+      weights.push_back(rng.UniformInt(1, 9));
+    }
+    auto scores = WeightedMedianScoresQuad(inputs, weights);
+    ASSERT_TRUE(scores.ok());
+    auto objective = [&](const std::vector<std::int64_t>& quad) {
+      std::int64_t total = 0;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        for (std::size_t e = 0; e < quad.size(); ++e) {
+          total += weights[i] *
+                   std::abs(quad[e] - 2 * inputs[i].TwicePosition(
+                                              static_cast<ElementId>(e)));
+        }
+      }
+      return total;
+    };
+    const std::int64_t ours = objective(*scores);
+    for (int g = 0; g < 40; ++g) {
+      std::vector<std::int64_t> competitor(7);
+      for (auto& c : competitor) c = 4 * rng.UniformInt(1, 7);
+      EXPECT_GE(objective(competitor), ours);
+    }
+  }
+}
+
+TEST(WeightedMedianTest, TopKAndObjective) {
+  Rng rng(5);
+  std::vector<BucketOrder> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(RandomBucketOrder(8, rng));
+  const std::vector<std::int64_t> weights = {2, 1, 1, 3};
+  auto topk = WeightedMedianAggregateTopK(inputs, weights, 3);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_TRUE(topk->IsTopK(3));
+  auto cost = WeightedTwiceTotalFprof(*topk, inputs, weights);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(*cost, 0);
+}
+
+TEST(WeightedMedianTest, Validation) {
+  std::vector<BucketOrder> inputs = {BucketOrder::SingleBucket(4)};
+  EXPECT_FALSE(WeightedMedianScoresQuad(inputs, {}).ok());
+  EXPECT_FALSE(WeightedMedianScoresQuad(inputs, {0}).ok());
+  EXPECT_FALSE(WeightedMedianScoresQuad(inputs, {-2}).ok());
+  EXPECT_FALSE(WeightedMedianScoresQuad({}, {}).ok());
+  EXPECT_FALSE(WeightedMedianAggregateTopK(inputs, {1}, 9).ok());
+}
+
+}  // namespace
+}  // namespace rankties
