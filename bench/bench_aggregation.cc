@@ -6,11 +6,19 @@
 //       correlated (Mallows) and independent workloads — the paper's claim
 //       that median "vindicates" the heuristic of [8, 11].
 
+// `bench_aggregation --json` switches to the batch-engine comparison mode:
+// it times the parallel aggregation hot paths (BestOfCandidates over the
+// input x input grid, the per-element median scores, batch top-k overlap
+// scoring) at threads=1 vs threads=N, verifies bit-identical results, and
+// emits rankties-bench-v1 JSON for the CI bench-regression gate.
+
 #include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <vector>
 
+#include "bench_json.h"
+#include "core/batch_engine.h"
 #include "core/best_input.h"
 #include "core/borda.h"
 #include "core/cost.h"
@@ -20,10 +28,13 @@
 #include "core/markov_chain.h"
 #include "core/median_rank.h"
 #include "core/optimal_bucketing.h"
+#include "gen/evaluation.h"
 #include "gen/mallows.h"
 #include "gen/random_orders.h"
 #include "rank/refinement.h"
 #include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace rankties {
 namespace {
@@ -250,10 +261,133 @@ void MethodComparison() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// --json mode: parallel aggregation hot paths vs the serial path.
+
+std::vector<BucketOrder> JsonModeInputs(std::size_t m, std::size_t n,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  const Permutation center = Permutation::Random(n, rng);
+  std::vector<BucketOrder> inputs;
+  inputs.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    inputs.push_back(QuantizedMallows(center, 0.7, 8, rng));
+  }
+  return inputs;
+}
+
+// Appends a threads=1 and a threads=N record for one timed workload.
+// `run` must return a value supporting operator== for the match check.
+template <typename Fn>
+bool EmitComparison(std::vector<benchjson::Record>& records,
+                    const char* name, std::size_t m, std::size_t n,
+                    std::size_t items, int reps, bool gate_eligible,
+                    std::size_t par_threads, const Fn& run) {
+  double seconds[2] = {0.0, 0.0};
+  auto serial_result = run();  // warm-up + reference shape
+  auto parallel_result = serial_result;
+  for (const bool is_parallel : {false, true}) {
+    ThreadPool::SetGlobalThreads(is_parallel ? par_threads : 1);
+    auto& result = is_parallel ? parallel_result : serial_result;
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch watch;
+      result = run();
+      const double elapsed = watch.Seconds();
+      if (rep == 0 || elapsed < best) best = elapsed;
+    }
+    seconds[is_parallel ? 1 : 0] = best;
+  }
+  const bool match = serial_result == parallel_result;
+  for (const bool is_parallel : {false, true}) {
+    const double elapsed = seconds[is_parallel ? 1 : 0];
+    benchjson::Record record;
+    record.Str("name", name)
+        .Int("lists", static_cast<long long>(m))
+        .Int("n", static_cast<long long>(n))
+        .Int("threads", static_cast<long long>(is_parallel ? par_threads : 1))
+        .Num("seconds", elapsed)
+        .Int("items", static_cast<long long>(items))
+        .Num("throughput", static_cast<double>(items) / elapsed)
+        .Bool("gate_eligible", gate_eligible);
+    if (is_parallel) {
+      record.Num("speedup", seconds[0] / seconds[1])
+          .Bool("match_serial", match);
+    }
+    records.push_back(record);
+  }
+  return match;
+}
+
+int RunJsonMode() {
+  const std::size_t par_threads = ThreadPool::DefaultThreads();
+  std::vector<benchjson::Record> records;
+  bool all_match = true;
+
+  // BestOfCandidates over the input x input grid (the best-input baseline):
+  // m^2 Kprof evaluations of n-element lists.
+  for (const auto& [m, n] : {std::pair<std::size_t, std::size_t>{64, 500},
+                             {128, 1000}}) {
+    const std::vector<BucketOrder> inputs = JsonModeInputs(m, n, 77 * m + n);
+    all_match &= EmitComparison(
+        records, "best_of_candidates", m, n, m * m, 2, m >= 64, par_threads,
+        [&] {
+          auto best = BestOfCandidates(MetricKind::kKprof, inputs, inputs);
+          return best.ok() ? best->totals : std::vector<double>();
+        });
+  }
+
+  // Median rank scores: per-element medians over a wide domain. Few-valued
+  // inputs (O(n) to draw) — Mallows insertion sampling is O(n^2) and would
+  // dominate setup at this domain size.
+  {
+    const std::size_t m = 25, n = 100000;
+    Rng rng(4242);
+    std::vector<BucketOrder> inputs;
+    inputs.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      inputs.push_back(RandomFewValued(n, 8.0, rng));
+    }
+    all_match &= EmitComparison(
+        records, "median_scores", m, n, n, 3, false, par_threads, [&] {
+          auto scores = MedianRankScoresQuad(inputs, MedianPolicy::kLower);
+          return scores.ok() ? *scores : std::vector<std::int64_t>();
+        });
+  }
+
+  // Batch top-k overlap scoring of many candidates against one truth.
+  {
+    const std::size_t m = 2000, n = 1000, k = 100;
+    Rng rng(99);
+    const Permutation truth = Permutation::Random(n, rng);
+    std::vector<Permutation> candidates;
+    candidates.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      candidates.push_back(Permutation::Random(n, rng));
+    }
+    all_match &= EmitComparison(
+        records, "topk_overlap_batch", m, n, m, 5, false, par_threads,
+        [&] { return TopKOverlapBatch(candidates, truth, k); });
+  }
+
+  ThreadPool::SetGlobalThreads(0);  // restore the default pool
+  benchjson::WriteDocument(stdout, "bench_aggregation", records);
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "bench_aggregation: parallel results diverged from the "
+                 "serial path\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace rankties
 
-int main() {
+int main(int argc, char** argv) {
+  if (rankties::benchjson::HasFlag(argc, argv, "--json")) {
+    return rankties::RunJsonMode();
+  }
   std::printf("=== E5/E7/E11: aggregation quality (Section 6) ===\n");
   rankties::TheoremNine();
   rankties::TheoremNineAtScale();

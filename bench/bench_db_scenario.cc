@@ -69,7 +69,8 @@ void RunScenario(const char* name, const Table& table, MakeQuery make_query) {
   PreferenceQuery query = make_query(table);
   auto rankings = query.DeriveRankings();
   if (!rankings.ok()) {
-    std::printf("derivation failed: %s\n", rankings.status().ToString().c_str());
+    std::printf("derivation failed: %s\n",
+                rankings.status().ToString().c_str());
     return;
   }
   TieStatistics(name, *rankings);

@@ -34,7 +34,8 @@ void BruteVsPolynomial() {
     const double fast_ms = fast_watch.Millis();
     std::printf("%-4zu %-16lld %-14.3f %-14.5f %s\n", n,
                 static_cast<long long>(pairs), brute_ms, fast_ms,
-                (brute_k == fast_k && 2 * brute_f == TwiceFHausdorff(sigma, tau))
+                (brute_k == fast_k &&
+                 2 * brute_f == TwiceFHausdorff(sigma, tau))
                     ? "yes"
                     : "NO <-- MISMATCH");
     (void)fast_f;

@@ -85,8 +85,9 @@ int main() {
   const TopListFusionResult fused =
       FuseTopLists({{900, 7, 13}, {7, 900, 42}, {7, 99, 900}}, 3).value();
   std::printf("\nown-domain fusion of 3 engines -> top-3 items:");
-  for (std::int64_t item : fused.items) std::printf(" %lld",
-                                                    static_cast<long long>(item));
+  for (std::int64_t item : fused.items) {
+    std::printf(" %lld", static_cast<long long>(item));
+  }
   std::printf("  (7 and 900 appear everywhere and win)\n");
 
   // A.3 compatibility: on top-k lists, Fprof equals the footrule with

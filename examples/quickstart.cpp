@@ -17,10 +17,12 @@ int main() {
   //   voter 1: {0,1} tied first, then 2, then {3,4} tied.
   //   voter 2: 2 first, then {0,1,3} tied, then 4.
   //   voter 3: a full ranking 1 < 0 < 2 < 4 < 3.
-  const BucketOrder v1 = BucketOrder::FromBuckets(5, {{0, 1}, {2}, {3, 4}}).value();
-  const BucketOrder v2 = BucketOrder::FromBuckets(5, {{2}, {0, 1, 3}, {4}}).value();
-  const BucketOrder v3 =
-      BucketOrder::FromPermutation(Permutation::FromOrder({1, 0, 2, 4, 3}).value());
+  const BucketOrder v1 =
+      BucketOrder::FromBuckets(5, {{0, 1}, {2}, {3, 4}}).value();
+  const BucketOrder v2 =
+      BucketOrder::FromBuckets(5, {{2}, {0, 1, 3}, {4}}).value();
+  const BucketOrder v3 = BucketOrder::FromPermutation(
+      Permutation::FromOrder({1, 0, 2, 4, 3}).value());
 
   std::printf("voter 1: %s\n", v1.ToString().c_str());
   std::printf("voter 2: %s\n", v2.ToString().c_str());
@@ -29,16 +31,19 @@ int main() {
   // The four metrics of the paper (Section 3), all within 2x of each other.
   std::printf("distances between voter 1 and voter 2:\n");
   for (MetricKind kind : AllMetricKinds()) {
-    std::printf("  %-6s = %.1f\n", MetricName(kind), ComputeMetric(kind, v1, v2));
+    std::printf("  %-6s = %.1f\n", MetricName(kind),
+                ComputeMetric(kind, v1, v2));
   }
 
   // Median-rank aggregation (Section 6): provably within 3x of the optimal
   // top-k list, and database-friendly.
   const std::vector<BucketOrder> voters = {v1, v2, v3};
-  const Permutation full = MedianAggregateFull(voters, MedianPolicy::kLower).value();
+  const Permutation full =
+      MedianAggregateFull(voters, MedianPolicy::kLower).value();
   std::printf("\nmedian full ranking : %s\n", full.ToString().c_str());
 
-  const BucketOrder top2 = MedianAggregateTopK(voters, 2, MedianPolicy::kLower).value();
+  const BucketOrder top2 =
+      MedianAggregateTopK(voters, 2, MedianPolicy::kLower).value();
   std::printf("median top-2 list   : %s\n", top2.ToString().c_str());
 
   // Consolidate the median scores into the L1-optimal partial ranking

@@ -2,6 +2,11 @@
 // paper's machinery can be driven from shell scripts without writing C++.
 //
 // Usage:
+//   rank_tool [--threads N] <command> ...
+//
+//   --threads N sets the worker count for the batch metric engine (dist and
+//   agg use it); it overrides the RANKTIES_THREADS environment variable.
+//
 //   rank_tool dist <file>              pairwise distance matrices (all four
 //                                      metrics) over the bucket orders in
 //                                      <file>, one per line: "[0 1 | 2]"
@@ -61,10 +66,11 @@ int CmdDist(const std::string& path) {
   if (!orders.ok()) return Fail(orders.status().ToString());
   for (MetricKind kind : AllMetricKinds()) {
     std::printf("# %s\n", MetricName(kind));
-    for (std::size_t i = 0; i < orders->size(); ++i) {
-      for (std::size_t j = 0; j < orders->size(); ++j) {
-        std::printf("%s%.1f", j ? "\t" : "",
-                    ComputeMetric(kind, (*orders)[i], (*orders)[j]));
+    const std::vector<std::vector<double>> matrix =
+        DistanceMatrix(kind, *orders);
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      for (std::size_t j = 0; j < matrix[i].size(); ++j) {
+        std::printf("%s%.1f", j ? "\t" : "", matrix[i][j]);
       }
       std::printf("\n");
     }
@@ -186,8 +192,29 @@ int CmdQuery(const std::string& csv_path, const std::string& schema_spec,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel off the global --threads flag before command dispatch.
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    const std::string flag = argv[arg];
+    if (flag == "--threads") {
+      if (arg + 1 >= argc) return Fail("--threads needs a worker count");
+      const std::size_t threads = ThreadPool::ParseThreadsSpec(argv[arg + 1]);
+      if (threads == 0) {
+        return Fail("invalid --threads value '" + std::string(argv[arg + 1]) +
+                    "'");
+      }
+      ThreadPool::SetGlobalThreads(threads);
+      arg += 2;
+    } else {
+      return Fail("unknown flag '" + flag + "'");
+    }
+  }
+  argc -= arg - 1;
+  argv += arg - 1;
   if (argc < 2) {
-    return Fail("usage: rank_tool dist|agg|gen ... (see file header)");
+    return Fail(
+        "usage: rank_tool [--threads N] dist|agg|gen|query ... (see file "
+        "header)");
   }
   const std::string cmd = argv[1];
   if (cmd == "dist") {

@@ -70,7 +70,8 @@ int main() {
               static_cast<long long>(online.sorted_accesses),
               rankings.size() * restaurants.num_rows(),
               100.0 * static_cast<double>(online.sorted_accesses) /
-                  static_cast<double>(rankings.size() * restaurants.num_rows()));
+                  static_cast<double>(rankings.size() *
+                                      restaurants.num_rows()));
 
   // How close are the attribute rankings to each other? (Metric showcase.)
   std::printf("\npairwise Kprof distances between attribute rankings:\n");

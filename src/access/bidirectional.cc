@@ -24,12 +24,12 @@ void BidirectionalCursor::BuildSchedule(const std::vector<double>& values,
 
   // Two cursors walk outward from the query's insertion point; each step
   // takes the closer side, so elements appear in non-decreasing |v - q|.
-  std::ptrdiff_t right = std::lower_bound(by_value.begin(), by_value.end(),
-                                          query,
-                                          [&](ElementId e, double q) {
-                                            return values[static_cast<std::size_t>(e)] < q;
-                                          }) -
-                         by_value.begin();
+  std::ptrdiff_t right =
+      std::lower_bound(by_value.begin(), by_value.end(), query,
+                       [&](ElementId e, double q) {
+                         return values[static_cast<std::size_t>(e)] < q;
+                       }) -
+      by_value.begin();
   std::ptrdiff_t left = right - 1;
   std::vector<ElementId> merged;
   std::vector<double> distances;

@@ -23,7 +23,8 @@ class MedrankStream {
  public:
   /// Takes ownership of the sources. They must all share a domain size; a
   /// violated precondition surfaces on the first NextWinner() call.
-  explicit MedrankStream(std::vector<std::unique_ptr<SortedAccessSource>> sources);
+  explicit MedrankStream(
+      std::vector<std::unique_ptr<SortedAccessSource>> sources);
 
   /// The next certified winner, or nullopt when no further element can
   /// reach a majority (all sources exhausted).

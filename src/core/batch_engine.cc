@@ -1,0 +1,111 @@
+#include "core/batch_engine.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace rankties {
+
+namespace {
+
+// Chunk size that keeps scheduling overhead below ~1/32 of each lane's
+// share while still load-balancing metric evaluations of uneven cost.
+std::size_t AutoGrain(std::size_t items) {
+  const std::size_t lanes = ThreadPool::GlobalThreads();
+  return std::max<std::size_t>(1, items / (32 * lanes));
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> DistanceMatrix(
+    MetricKind kind, const std::vector<BucketOrder>& lists) {
+  const std::size_t m = lists.size();
+  std::vector<std::vector<double>> matrix(m, std::vector<double>(m, 0.0));
+  if (m < 2) return matrix;
+
+  // Upper-triangle pairs (i, j), i < j, flattened row-major: row i starts at
+  // offset[i] and holds m-1-i pairs.
+  std::vector<std::size_t> offset(m + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    offset[i + 1] = offset[i] + (m - 1 - i);
+  }
+  const std::size_t pairs = offset[m];
+  ParallelFor(0, pairs, AutoGrain(pairs), [&](std::size_t lo, std::size_t hi) {
+    // Locate the row of the first pair in the chunk, then walk forward.
+    std::size_t i = static_cast<std::size_t>(
+                        std::upper_bound(offset.begin(), offset.end(), lo) -
+                        offset.begin()) -
+                    1;
+    for (std::size_t t = lo; t < hi; ++t) {
+      while (t >= offset[i + 1]) ++i;
+      const std::size_t j = i + 1 + (t - offset[i]);
+      const double d = ComputeMetric(kind, lists[i], lists[j]);
+      matrix[i][j] = d;
+      matrix[j][i] = d;
+    }
+  });
+  return matrix;
+}
+
+std::vector<double> DistancesToAll(MetricKind kind,
+                                   const BucketOrder& candidate,
+                                   const std::vector<BucketOrder>& lists) {
+  std::vector<double> distances(lists.size(), 0.0);
+  ParallelFor(0, lists.size(), AutoGrain(lists.size()),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t j = lo; j < hi; ++j) {
+                  distances[j] = ComputeMetric(kind, candidate, lists[j]);
+                }
+              });
+  return distances;
+}
+
+double TotalDistanceParallel(MetricKind kind, const BucketOrder& candidate,
+                             const std::vector<BucketOrder>& lists) {
+  const std::vector<double> distances =
+      DistancesToAll(kind, candidate, lists);
+  double total = 0.0;
+  for (const double d : distances) total += d;  // serial, index order
+  return total;
+}
+
+StatusOr<BestCandidateResult> BestOfCandidates(
+    MetricKind kind, const std::vector<BucketOrder>& candidates,
+    const std::vector<BucketOrder>& lists) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate rankings");
+  }
+  if (lists.empty()) return Status::InvalidArgument("no input rankings");
+
+  const std::size_t c = candidates.size();
+  const std::size_t l = lists.size();
+  // Flat candidate x list grid so parallelism scales with c*l even when one
+  // side is small (one candidate, many lists — or the reverse).
+  std::vector<double> grid(c * l, 0.0);
+  ParallelFor(0, c * l, AutoGrain(c * l),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t t = lo; t < hi; ++t) {
+                  grid[t] = ComputeMetric(kind, candidates[t / l],
+                                          lists[t % l]);
+                }
+              });
+
+  BestCandidateResult best;
+  best.totals.resize(c, 0.0);
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < l; ++j) total += grid[ci * l + j];
+    best.totals[ci] = total;
+  }
+  best.index = 0;
+  best.total_cost = best.totals[0];
+  for (std::size_t ci = 1; ci < c; ++ci) {
+    if (best.totals[ci] < best.total_cost) {
+      best.index = ci;
+      best.total_cost = best.totals[ci];
+    }
+  }
+  return best;
+}
+
+}  // namespace rankties

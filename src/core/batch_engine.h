@@ -1,0 +1,56 @@
+#ifndef RANKTIES_CORE_BATCH_ENGINE_H_
+#define RANKTIES_CORE_BATCH_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metric_registry.h"
+#include "rank/bucket_order.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Batch metric evaluation over many rankings at once, parallelized on the
+/// global ThreadPool (util/thread_pool.h).
+///
+/// Determinism guarantee: every function here returns results bit-identical
+/// to the corresponding serial ComputeMetric loop, for every thread count.
+/// Parallel tasks only compute independent matrix/vector slots; every
+/// floating-point reduction (totals, argmin) runs serially in index order on
+/// the calling thread. Thread count therefore never changes an answer —
+/// only how fast it arrives.
+
+/// The m x m matrix D with D[i][j] = ComputeMetric(kind, lists[i],
+/// lists[j]). Symmetric with a zero diagonal; each upper-triangle entry is
+/// computed once, in parallel, and mirrored.
+std::vector<std::vector<double>> DistanceMatrix(
+    MetricKind kind, const std::vector<BucketOrder>& lists);
+
+/// distances[j] = ComputeMetric(kind, candidate, lists[j]) — the inner loop
+/// of Kemeny-score evaluation and median-rank validation, parallel over the
+/// lists.
+std::vector<double> DistancesToAll(MetricKind kind,
+                                   const BucketOrder& candidate,
+                                   const std::vector<BucketOrder>& lists);
+
+/// Sum of DistancesToAll(kind, candidate, lists) accumulated serially in
+/// index order — bit-identical to the serial TotalDistance loop.
+double TotalDistanceParallel(MetricKind kind, const BucketOrder& candidate,
+                             const std::vector<BucketOrder>& lists);
+
+struct BestCandidateResult {
+  std::size_t index = 0;        ///< argmin candidate (lowest index on ties)
+  double total_cost = 0.0;      ///< its summed distance to all lists
+  std::vector<double> totals;  ///< totals[c] = sum_j d(candidates[c], ...)
+};
+
+/// Evaluates every candidate's total distance to `lists` (parallel over the
+/// candidate x list grid) and picks the minimizer, first index on ties.
+/// Fails when either side is empty.
+StatusOr<BestCandidateResult> BestOfCandidates(
+    MetricKind kind, const std::vector<BucketOrder>& candidates,
+    const std::vector<BucketOrder>& lists);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_BATCH_ENGINE_H_

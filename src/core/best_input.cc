@@ -1,23 +1,17 @@
 #include "core/best_input.h"
 
-#include "core/cost.h"
+#include "core/batch_engine.h"
 
 namespace rankties {
 
 StatusOr<BestInputResult> BestInputAggregate(
     const std::vector<BucketOrder>& inputs, MetricKind kind) {
-  if (inputs.empty()) return Status::InvalidArgument("no input rankings");
-  BestInputResult best;
-  bool first = true;
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const double cost = TotalDistance(kind, inputs[i], inputs);
-    if (first || cost < best.total_cost) {
-      best.index = i;
-      best.total_cost = cost;
-      first = false;
-    }
-  }
-  return best;
+  // Candidates and lists coincide: the m^2 metric evaluations run on the
+  // global thread pool; the argmin (first index on ties, matching the old
+  // serial scan) stays serial.
+  StatusOr<BestCandidateResult> best = BestOfCandidates(kind, inputs, inputs);
+  if (!best.ok()) return best.status();
+  return BestInputResult{best->index, best->total_cost};
 }
 
 }  // namespace rankties

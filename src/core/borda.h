@@ -15,7 +15,8 @@ namespace rankties {
 /// instance optimal in the sorted-access model and is sensitive to outliers
 /// (§1). Exact integer arithmetic (sum of doubled positions).
 /// Fails unless the inputs share a non-empty domain.
-StatusOr<Permutation> BordaAggregateFull(const std::vector<BucketOrder>& inputs);
+StatusOr<Permutation> BordaAggregateFull(
+    const std::vector<BucketOrder>& inputs);
 
 /// The induced partial ranking: elements with equal mean position tied.
 StatusOr<BucketOrder> BordaInducedOrder(const std::vector<BucketOrder>& inputs);

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "core/batch_engine.h"
 #include "core/footrule.h"
 #include "core/profile_metrics.h"
 
@@ -18,11 +19,9 @@ std::int64_t TwiceTotalFprof(const BucketOrder& candidate,
 
 double TotalDistance(MetricKind kind, const BucketOrder& candidate,
                      const std::vector<BucketOrder>& inputs) {
-  double total = 0.0;
-  for (const BucketOrder& input : inputs) {
-    total += ComputeMetric(kind, candidate, input);
-  }
-  return total;
+  // Parallel over the inputs; the sum runs serially in index order, so the
+  // result is bit-identical to the old serial accumulation.
+  return TotalDistanceParallel(kind, candidate, inputs);
 }
 
 double TotalKendallP(const BucketOrder& candidate,

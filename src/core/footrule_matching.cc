@@ -195,7 +195,8 @@ StatusOr<FootruleOptimalResult> FootruleOptimalFull(
       const std::int64_t twice_pos =
           input.TwicePosition(static_cast<ElementId>(e));
       for (std::size_t r = 0; r < n; ++r) {
-        cost[e][r] += std::abs(twice_pos - 2 * static_cast<std::int64_t>(r + 1));
+        cost[e][r] +=
+            std::abs(twice_pos - 2 * static_cast<std::int64_t>(r + 1));
       }
     }
   }

@@ -91,9 +91,10 @@ std::int64_t KHausdorffBrute(const BucketOrder& sigma, const BucketOrder& tau) {
 }
 
 std::int64_t FHausdorffBrute(const BucketOrder& sigma, const BucketOrder& tau) {
-  return HausdorffBrute(
-      sigma, tau,
-      [](const Permutation& a, const Permutation& b) { return Footrule(a, b); });
+  return HausdorffBrute(sigma, tau,
+                        [](const Permutation& a, const Permutation& b) {
+                          return Footrule(a, b);
+                        });
 }
 
 }  // namespace rankties

@@ -1,30 +1,48 @@
 #include "core/kemeny.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace rankties {
+
+namespace {
+
+// Rows per ParallelFor chunk for the m*n-cost row loops below; aims for a
+// few thousand pair evaluations per chunk so tiny instances stay inline.
+std::size_t RowGrain(std::size_t n, std::size_t m) {
+  return std::max<std::size_t>(1, 4096 / (n * m + 1));
+}
+
+}  // namespace
 
 std::vector<std::vector<std::int64_t>> PairwisePreferenceCostsTwice(
     const std::vector<BucketOrder>& inputs, double p) {
   const std::size_t n = inputs.empty() ? 0 : inputs.front().n();
   std::vector<std::vector<std::int64_t>> w(n,
                                            std::vector<std::int64_t>(n, 0));
-  for (const BucketOrder& input : inputs) {
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = 0; b < n; ++b) {
-        if (a == b) continue;
-        const ElementId ea = static_cast<ElementId>(a);
-        const ElementId eb = static_cast<ElementId>(b);
-        if (input.Ahead(eb, ea)) {
-          w[a][b] += 2;  // ranking a ahead of b contradicts this input
-        } else if (input.Tied(ea, eb)) {
-          w[a][b] += static_cast<std::int64_t>(std::llround(2.0 * p));
+  // Parallel over rows a: each task owns w[a][*], so writes never collide,
+  // and integer accumulation makes the result order-independent.
+  ParallelFor(0, n, RowGrain(n, inputs.size()),
+              [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t a = lo; a < hi; ++a) {
+      for (const BucketOrder& input : inputs) {
+        for (std::size_t b = 0; b < n; ++b) {
+          if (a == b) continue;
+          const ElementId ea = static_cast<ElementId>(a);
+          const ElementId eb = static_cast<ElementId>(b);
+          if (input.Ahead(eb, ea)) {
+            w[a][b] += 2;  // ranking a ahead of b contradicts this input
+          } else if (input.Tied(ea, eb)) {
+            w[a][b] += static_cast<std::int64_t>(std::llround(2.0 * p));
+          }
         }
       }
     }
-  }
+  });
   return w;
 }
 
@@ -53,16 +71,19 @@ StatusOr<KemenyPartialResult> ExactKemenyPartial(
   // t2[a][b]: doubled cost of tying a and b = 2p per input strict on them.
   std::vector<std::vector<std::int64_t>> t2(n,
                                             std::vector<std::int64_t>(n, 0));
-  for (const BucketOrder& input : inputs) {
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = 0; b < n; ++b) {
-        if (a != b && !input.Tied(static_cast<ElementId>(a),
-                                  static_cast<ElementId>(b))) {
-          t2[a][b] += two_p;
+  ParallelFor(0, n, RowGrain(n, inputs.size()),
+              [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t a = lo; a < hi; ++a) {
+      for (const BucketOrder& input : inputs) {
+        for (std::size_t b = 0; b < n; ++b) {
+          if (a != b && !input.Tied(static_cast<ElementId>(a),
+                                    static_cast<ElementId>(b))) {
+            t2[a][b] += two_p;
+          }
         }
       }
     }
-  }
+  });
 
   const std::size_t full = static_cast<std::size_t>(1) << n;
   // colsum[M * n + b] = sum over a in M of w2[a][b].

@@ -125,7 +125,8 @@ StatusOr<KemenyBnbResult> KemenyBranchAndBound(
       PairwisePreferenceCostsTwice(inputs, p);
 
   // Incumbent: locally Kemenized median (strong in practice).
-  StatusOr<Permutation> seed = MedianAggregateFull(inputs, MedianPolicy::kLower);
+  StatusOr<Permutation> seed =
+      MedianAggregateFull(inputs, MedianPolicy::kLower);
   if (!seed.ok()) return seed.status();
   const Permutation incumbent = LocalKemenization(*seed, inputs, p);
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "util/checked_math.h"
+
 namespace rankties {
 
 namespace {
@@ -64,7 +66,11 @@ std::int64_t KendallTauNaive(const Permutation& sigma, const Permutation& tau) {
 }
 
 std::int64_t MaxKendall(std::size_t n) {
-  return static_cast<std::int64_t>(n) * (static_cast<std::int64_t>(n) - 1) / 2;
+  if (n < 2) return 0;
+  // n(n-1)/2 silently wraps for n a little past 2^32; divide the even factor
+  // by 2 first so the checked product only overflows when the result would.
+  const std::int64_t v = CheckedInt64(n);
+  return n % 2 == 0 ? CheckedMul(v / 2, v - 1) : CheckedMul(v, (v - 1) / 2);
 }
 
 double KendallTauNormalized(const Permutation& sigma, const Permutation& tau) {

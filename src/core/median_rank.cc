@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace rankties {
 
 std::int64_t MedianQuad(std::vector<std::int64_t> values, MedianPolicy policy) {
@@ -48,14 +50,21 @@ StatusOr<std::vector<std::int64_t>> MedianRankScoresQuad(
   Status s = ValidateInputs(inputs);
   if (!s.ok()) return s;
   const std::size_t n = inputs.front().n();
+  const std::size_t m = inputs.size();
   std::vector<std::int64_t> scores(n);
-  std::vector<std::int64_t> column(inputs.size());
-  for (std::size_t e = 0; e < n; ++e) {
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      column[i] = inputs[i].TwicePosition(static_cast<ElementId>(e));
-    }
-    scores[e] = MedianQuad(column, policy);
-  }
+  // Per-element medians are independent: parallel over elements, one scratch
+  // column per chunk. Each slot is written exactly once — deterministic.
+  ParallelFor(0, n, std::max<std::size_t>(1, 2048 / (m + 1)),
+              [&](std::size_t lo, std::size_t hi) {
+                std::vector<std::int64_t> column(m);
+                for (std::size_t e = lo; e < hi; ++e) {
+                  for (std::size_t i = 0; i < m; ++i) {
+                    column[i] =
+                        inputs[i].TwicePosition(static_cast<ElementId>(e));
+                  }
+                  scores[e] = MedianQuad(column, policy);
+                }
+              });
   return scores;
 }
 
@@ -67,8 +76,8 @@ StatusOr<BucketOrder> MedianInducedOrder(const std::vector<BucketOrder>& inputs,
   return BucketOrder::FromIntKeys(*scores);
 }
 
-StatusOr<Permutation> MedianAggregateFull(const std::vector<BucketOrder>& inputs,
-                                          MedianPolicy policy) {
+StatusOr<Permutation> MedianAggregateFull(
+    const std::vector<BucketOrder>& inputs, MedianPolicy policy) {
   StatusOr<std::vector<std::int64_t>> scores =
       MedianRankScoresQuad(inputs, policy);
   if (!scores.ok()) return scores.status();
@@ -82,8 +91,9 @@ StatusOr<Permutation> MedianAggregateFull(const std::vector<BucketOrder>& inputs
   return Permutation::FromOrder(order);
 }
 
-StatusOr<BucketOrder> MedianAggregateTopK(const std::vector<BucketOrder>& inputs,
-                                          std::size_t k, MedianPolicy policy) {
+StatusOr<BucketOrder> MedianAggregateTopK(
+    const std::vector<BucketOrder>& inputs, std::size_t k,
+    MedianPolicy policy) {
   StatusOr<Permutation> full = MedianAggregateFull(inputs, policy);
   if (!full.ok()) return full.status();
   if (k > full->n()) {
@@ -94,14 +104,26 @@ StatusOr<BucketOrder> MedianAggregateTopK(const std::vector<BucketOrder>& inputs
 
 std::int64_t TotalL1ToInputsQuad(const std::vector<std::int64_t>& f_quad,
                                  const std::vector<BucketOrder>& inputs) {
-  std::int64_t total = 0;
-  for (const BucketOrder& input : inputs) {
-    assert(input.n() == f_quad.size());
-    for (std::size_t e = 0; e < f_quad.size(); ++e) {
-      total += std::abs(f_quad[e] -
+  // Parallel over inputs into per-input partial sums, reduced serially —
+  // integer addition, so the total is exact and thread-count independent.
+  std::vector<std::int64_t> partial(inputs.size(), 0);
+  ParallelFor(0, inputs.size(),
+              std::max<std::size_t>(1, 4096 / (f_quad.size() + 1)),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const BucketOrder& input = inputs[i];
+                  assert(input.n() == f_quad.size());
+                  std::int64_t sum = 0;
+                  for (std::size_t e = 0; e < f_quad.size(); ++e) {
+                    sum += std::abs(
+                        f_quad[e] -
                         2 * input.TwicePosition(static_cast<ElementId>(e)));
-    }
-  }
+                  }
+                  partial[i] = sum;
+                }
+              });
+  std::int64_t total = 0;
+  for (const std::int64_t sum : partial) total += sum;
   return total;
 }
 

@@ -38,15 +38,16 @@ StatusOr<BucketOrder> MedianInducedOrder(const std::vector<BucketOrder>& inputs,
 
 /// Full-ranking median aggregation (Theorem 11): a refinement of the induced
 /// partial ranking with remaining ties broken by ascending element id.
-StatusOr<Permutation> MedianAggregateFull(const std::vector<BucketOrder>& inputs,
-                                          MedianPolicy policy);
+StatusOr<Permutation> MedianAggregateFull(
+    const std::vector<BucketOrder>& inputs, MedianPolicy policy);
 
 /// Top-k median aggregation (Theorem 9): the top-k list whose first k
 /// objects are the k best elements of the median score, ordered by it, ties
 /// broken by ascending element id. Guaranteed within factor 3 of the optimal
 /// top-k list w.r.t. the sum-of-Fprof objective. Requires k <= n.
-StatusOr<BucketOrder> MedianAggregateTopK(const std::vector<BucketOrder>& inputs,
-                                          std::size_t k, MedianPolicy policy);
+StatusOr<BucketOrder> MedianAggregateTopK(
+    const std::vector<BucketOrder>& inputs, std::size_t k,
+    MedianPolicy policy);
 
 /// Sum of L1 distances from the quadrupled score vector `f_quad` to the
 /// (quadrupled) position vectors of the inputs: 4 * sum_i L1(f, sigma_i).

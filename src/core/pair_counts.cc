@@ -39,7 +39,8 @@ PairCounts ComputePairCounts(const BucketOrder& sigma, const BucketOrder& tau) {
 
   std::int64_t tied_sigma_pairs = 0;  // pairs tied in sigma (incl. tied_both)
   for (std::size_t b = 0; b < sigma.num_buckets(); ++b) {
-    tied_sigma_pairs += Choose2(static_cast<std::int64_t>(sigma.bucket(b).size()));
+    tied_sigma_pairs +=
+        Choose2(static_cast<std::int64_t>(sigma.bucket(b).size()));
   }
   std::int64_t tied_tau_pairs = 0;
   for (std::size_t b = 0; b < tau.num_buckets(); ++b) {

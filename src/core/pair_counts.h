@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "rank/bucket_order.h"
+#include "util/checked_math.h"
 
 namespace rankties {
 
@@ -33,10 +34,13 @@ struct PairCounts {
   std::int64_t tied_tau_only = 0;
   std::int64_t tied_both = 0;
 
-  /// Total number of unordered pairs = n(n-1)/2.
+  /// Total number of unordered pairs = n(n-1)/2. Quadratic in n, so the sum
+  /// is overflow-checked: aborts rather than silently wrapping past 2^63.
   std::int64_t Total() const {
-    return concordant + discordant + tied_sigma_only + tied_tau_only +
-           tied_both;
+    return CheckedAdd(
+        CheckedAdd(CheckedAdd(concordant, discordant),
+                   CheckedAdd(tied_sigma_only, tied_tau_only)),
+        tied_both);
   }
 
   friend bool operator==(const PairCounts& a, const PairCounts& b) = default;

@@ -67,7 +67,9 @@ StatusOr<std::string> SimilarityIndex::Classify(
   }
   // Plurality; ties go to the label of the nearest member.
   std::size_t best_count = 0;
-  for (const auto& [label, count] : votes) best_count = std::max(best_count, count);
+  for (const auto& [label, count] : votes) {
+    best_count = std::max(best_count, count);
+  }
   for (std::int32_t neighbor : nearest->neighbors) {
     const std::string& label = labels[static_cast<std::size_t>(neighbor)];
     if (votes[label] == best_count) return label;

@@ -58,7 +58,8 @@ Table MakeFlightTable(std::size_t num_rows, Rng& rng) {
     // Connections skewed toward 0/1 — the paper's "usually has no more than
     // four values" numeric attribute.
     const double u = rng.UniformReal();
-    const double connections = u < 0.45 ? 0 : (u < 0.8 ? 1 : (u < 0.95 ? 2 : 3));
+    const double connections =
+        u < 0.45 ? 0 : (u < 0.8 ? 1 : (u < 0.95 ? 2 : 3));
     const double base_price = 120.0 * std::exp(rng.Normal(0.0, 0.5));
     const double price =
         std::round((base_price + 60.0 * connections) * 100.0) / 100.0;

@@ -1,7 +1,8 @@
 #include "gen/evaluation.h"
 
 #include <algorithm>
-#include <set>
+
+#include "util/thread_pool.h"
 
 namespace rankties {
 
@@ -11,13 +12,17 @@ double TopKOverlap(const Permutation& candidate, const Permutation& truth,
   if (n == 0) return 0.0;
   k = std::min(k, n);
   if (k == 0) return 0.0;
-  std::set<ElementId> truth_top;
+  // Flat membership array instead of a std::set: the batch evaluators call
+  // this once per candidate per trial, so the O(log k) set lookups showed.
+  std::vector<char> in_truth_top(n, 0);
   for (std::size_t r = 0; r < k; ++r) {
-    truth_top.insert(truth.At(static_cast<ElementId>(r)));
+    in_truth_top[static_cast<std::size_t>(
+        truth.At(static_cast<ElementId>(r)))] = 1;
   }
   std::size_t hits = 0;
   for (std::size_t r = 0; r < k; ++r) {
-    if (truth_top.count(candidate.At(static_cast<ElementId>(r)))) ++hits;
+    hits += static_cast<std::size_t>(in_truth_top[static_cast<std::size_t>(
+        candidate.At(static_cast<ElementId>(r)))]);
   }
   return static_cast<double>(hits) / static_cast<double>(k);
 }
@@ -30,14 +35,16 @@ double PrefixJaccard(const BucketOrder& a, const BucketOrder& b,
   if (prefix == 0) return 0.0;
   const Permutation pa = a.CanonicalRefinement();
   const Permutation pb = b.CanonicalRefinement();
-  std::set<ElementId> sa, sb;
+  std::vector<char> in_a(n, 0);
   for (std::size_t r = 0; r < prefix; ++r) {
-    sa.insert(pa.At(static_cast<ElementId>(r)));
-    sb.insert(pb.At(static_cast<ElementId>(r)));
+    in_a[static_cast<std::size_t>(pa.At(static_cast<ElementId>(r)))] = 1;
   }
   std::size_t intersection = 0;
-  for (ElementId e : sa) intersection += sb.count(e);
-  const std::size_t uni = sa.size() + sb.size() - intersection;
+  for (std::size_t r = 0; r < prefix; ++r) {
+    intersection += static_cast<std::size_t>(
+        in_a[static_cast<std::size_t>(pb.At(static_cast<ElementId>(r)))]);
+  }
+  const std::size_t uni = 2 * prefix - intersection;
   return uni == 0 ? 0.0
                   : static_cast<double>(intersection) /
                         static_cast<double>(uni);
@@ -48,6 +55,19 @@ double WinnerReciprocalRank(const Permutation& candidate,
   if (candidate.n() == 0) return 0.0;
   const ElementId winner = truth.At(0);
   return 1.0 / static_cast<double>(candidate.Rank(winner) + 1);
+}
+
+std::vector<double> TopKOverlapBatch(
+    const std::vector<Permutation>& candidates, const Permutation& truth,
+    std::size_t k) {
+  std::vector<double> overlaps(candidates.size(), 0.0);
+  ParallelFor(0, candidates.size(), 1,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  overlaps[i] = TopKOverlap(candidates[i], truth, k);
+                }
+              });
+  return overlaps;
 }
 
 }  // namespace rankties

@@ -2,6 +2,7 @@
 #define RANKTIES_GEN_EVALUATION_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "rank/bucket_order.h"
 #include "rank/permutation.h"
@@ -29,6 +30,14 @@ double PrefixJaccard(const BucketOrder& a, const BucketOrder& b,
 /// 1 / (1-based rank of truth.At(0) in candidate). 0 on empty domains.
 double WinnerReciprocalRank(const Permutation& candidate,
                             const Permutation& truth);
+
+/// TopKOverlap of every candidate against one truth, computed in parallel
+/// on the global thread pool (the recovery experiments score whole batches
+/// of aggregates per trial). result[i] = TopKOverlap(candidates[i], truth, k);
+/// deterministic for every thread count.
+std::vector<double> TopKOverlapBatch(
+    const std::vector<Permutation>& candidates, const Permutation& truth,
+    std::size_t k);
 
 }  // namespace rankties
 

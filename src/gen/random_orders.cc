@@ -33,8 +33,9 @@ BucketOrder AssembleRandom(std::size_t n, const std::vector<std::size_t>& type,
   buckets.reserve(type.size());
   std::size_t at = 0;
   for (std::size_t size : type) {
-    buckets.emplace_back(elems.begin() + static_cast<std::ptrdiff_t>(at),
-                         elems.begin() + static_cast<std::ptrdiff_t>(at + size));
+    buckets.emplace_back(
+        elems.begin() + static_cast<std::ptrdiff_t>(at),
+        elems.begin() + static_cast<std::ptrdiff_t>(at + size));
     at += size;
   }
   StatusOr<BucketOrder> order = BucketOrder::FromBuckets(n, std::move(buckets));
@@ -55,8 +56,8 @@ BucketOrder RandomBucketOrderWithBuckets(std::size_t n, std::size_t t,
   std::vector<std::size_t> gaps(n - 1);
   std::iota(gaps.begin(), gaps.end(), 1);
   rng.Shuffle(gaps);
-  std::vector<std::size_t> cuts(gaps.begin(),
-                                gaps.begin() + static_cast<std::ptrdiff_t>(t - 1));
+  std::vector<std::size_t> cuts(
+      gaps.begin(), gaps.begin() + static_cast<std::ptrdiff_t>(t - 1));
   std::sort(cuts.begin(), cuts.end());
   cuts.push_back(n);
   std::vector<std::size_t> type;

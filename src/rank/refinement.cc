@@ -44,7 +44,8 @@ BucketOrder TauRefine(const BucketOrder& tau, const BucketOrder& sigma) {
     if (new_bucket) buckets.emplace_back();
     buckets.back().push_back(elems[i]);
   }
-  StatusOr<BucketOrder> result = BucketOrder::FromBuckets(n, std::move(buckets));
+  StatusOr<BucketOrder> result =
+      BucketOrder::FromBuckets(n, std::move(buckets));
   assert(result.ok());
   return std::move(result).value();
 }

@@ -32,8 +32,9 @@ Permutation TauRefineFull(const Permutation& tau, const BucketOrder& sigma);
 /// in-bucket permutations), invoking `visit` for each. Exponential; intended
 /// for small domains in tests and the brute-force Hausdorff oracle.
 /// Enumeration stops early if `visit` returns false.
-void ForEachFullRefinement(const BucketOrder& sigma,
-                           const std::function<bool(const Permutation&)>& visit);
+void ForEachFullRefinement(
+    const BucketOrder& sigma,
+    const std::function<bool(const Permutation&)>& visit);
 
 /// Number of full refinements of `sigma` (product of bucket factorials).
 /// Saturates at INT64_MAX.

@@ -10,7 +10,7 @@
 ///  * rank/bucket_order.h      — the partial-ranking type
 ///  * core/profile_metrics.h   — K^(p) / Kprof               (paper §3.1)
 ///  * core/footrule.h          — Fprof, footrule, F^(l)      (paper §3.1)
-///  * core/hausdorff.h         — KHaus / FHaus               (paper §3.2/§4)
+///  * core/hausdorff.h         — KHaus / FHaus              (paper §3.2/§4)
 ///  * core/median_rank.h       — median aggregation          (paper §6)
 ///  * core/optimal_bucketing.h — the f-dagger DP             (paper A.6.4)
 ///  * access/medrank_engine.h  — database-friendly top-k     (paper §6)
@@ -23,6 +23,7 @@
 #include "access/medrank_stream.h"
 #include "access/nra_median.h"
 #include "access/ta_median.h"
+#include "core/batch_engine.h"
 #include "core/best_input.h"
 #include "core/borda.h"
 #include "core/condorcet.h"
@@ -68,10 +69,12 @@
 #include "rank/lattice.h"
 #include "rank/permutation.h"
 #include "rank/refinement.h"
+#include "util/checked_math.h"
 #include "util/combinatorics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 #endif  // RANKTIES_RANKTIES_H_

@@ -1,0 +1,65 @@
+#ifndef RANKTIES_UTIL_CHECKED_MATH_H_
+#define RANKTIES_UTIL_CHECKED_MATH_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace rankties {
+
+/// Overflow-checked 64-bit arithmetic for the pair-count identities.
+/// Quantities like n(n-1)/2 are quadratic in the domain size, so a domain a
+/// little past 2^32 silently wraps 64-bit math (undefined behaviour for
+/// signed types). These helpers abort with a diagnostic instead — a wrong
+/// count is worse than a crash for every caller in this library.
+
+[[noreturn]] inline void DieOfIntegerOverflow(const char* operation) {
+  std::fprintf(stderr, "rankties: integer overflow in %s\n", operation);
+  std::abort();
+}
+
+inline std::int64_t CheckedAdd(std::int64_t a, std::int64_t b) {
+#if defined(__GNUC__) || defined(__clang__)
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) DieOfIntegerOverflow("CheckedAdd");
+  return out;
+#else
+  if ((b > 0 && a > std::numeric_limits<std::int64_t>::max() - b) ||
+      (b < 0 && a < std::numeric_limits<std::int64_t>::min() - b)) {
+    DieOfIntegerOverflow("CheckedAdd");
+  }
+  return a + b;
+#endif
+}
+
+inline std::int64_t CheckedMul(std::int64_t a, std::int64_t b) {
+#if defined(__GNUC__) || defined(__clang__)
+  std::int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) DieOfIntegerOverflow("CheckedMul");
+  return out;
+#else
+  if (a != 0 && b != 0) {
+    if (a > 0 ? (b > 0 ? a > std::numeric_limits<std::int64_t>::max() / b
+                       : b < std::numeric_limits<std::int64_t>::min() / a)
+              : (b > 0 ? a < std::numeric_limits<std::int64_t>::min() / b
+                       : b < std::numeric_limits<std::int64_t>::max() / a)) {
+      DieOfIntegerOverflow("CheckedMul");
+    }
+  }
+  return a * b;
+#endif
+}
+
+/// Converts an unsigned size to int64, aborting when it does not fit.
+inline std::int64_t CheckedInt64(std::size_t value) {
+  if (value > static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())) {
+    DieOfIntegerOverflow("CheckedInt64");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace rankties
+
+#endif  // RANKTIES_UTIL_CHECKED_MATH_H_

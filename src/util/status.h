@@ -23,7 +23,8 @@ enum class StatusCode {
   kInternal = 6,
 };
 
-/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
+/// Returns a stable human-readable name for `code` ("OK",
+/// "INVALID_ARGUMENT"...).
 const char* StatusCodeName(StatusCode code);
 
 /// A cheap value-type carrying success or an error code plus message.

@@ -1,0 +1,148 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rankties {
+
+namespace {
+
+// True on threads spawned by a ThreadPool; nested ParallelFor calls from a
+// worker run inline instead of re-entering the queue (no deadlock).
+thread_local bool t_in_pool_worker = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_mu
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t lanes = std::max<std::size_t>(1, threads);
+  workers_.reserve(lanes - 1);
+  for (std::size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunks(LoopState& state) {
+  for (;;) {
+    if (state.canceled.load(std::memory_order_relaxed)) return;
+    const std::size_t lo =
+        state.cursor.fetch_add(state.grain, std::memory_order_relaxed);
+    if (lo >= state.end) return;
+    const std::size_t hi = std::min(lo + state.grain, state.end);
+    try {
+      (*state.body)(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (!state.error) state.error = std::current_exception();
+      state.canceled.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::WorkerMain() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::shared_ptr<LoopState> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      state = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunChunks(*state);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = (end - begin + g - 1) / g;
+  if (workers_.empty() || chunks <= 1 || t_in_pool_worker) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->end = end;
+  state->grain = g;
+  state->body = &body;
+  state->cursor.store(begin, std::memory_order_relaxed);
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  state->pending = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(state);
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+
+  RunChunks(*state);  // the calling thread is a lane too
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->pending == 0; });
+  if (state->error) {
+    std::exception_ptr error = state->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(std::size_t threads) {
+  const std::size_t lanes = threads == 0 ? DefaultThreads() : threads;
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_pool = std::make_unique<ThreadPool>(lanes);
+}
+
+std::size_t ThreadPool::GlobalThreads() { return Global().threads(); }
+
+std::size_t ThreadPool::DefaultThreads() {
+  const std::size_t from_env =
+      ParseThreadsSpec(std::getenv("RANKTIES_THREADS"));
+  if (from_env > 0) return from_env;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, hardware);
+}
+
+std::size_t ThreadPool::ParseThreadsSpec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return 0;
+  char* tail = nullptr;
+  const long value = std::strtol(spec, &tail, 10);
+  if (tail == spec || *tail != '\0' || value <= 0) return 0;
+  return std::min<long>(value, 1024);
+}
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace rankties

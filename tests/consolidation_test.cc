@@ -17,7 +17,9 @@ namespace {
 
 std::vector<std::int64_t> RandomQuad(std::size_t n, Rng& rng) {
   std::vector<std::int64_t> scores(n);
-  for (auto& s : scores) s = 2 * rng.UniformInt(1, 2 * static_cast<std::int64_t>(n));
+  for (auto& s : scores) {
+    s = 2 * rng.UniformInt(1, 2 * static_cast<std::int64_t>(n));
+  }
   return scores;
 }
 

@@ -33,8 +33,10 @@ TEST(TopKOverlapTest, ClampsAndEdges) {
 }
 
 TEST(PrefixJaccardTest, BucketOrders) {
-  const BucketOrder a = BucketOrder::FromBuckets(5, {{0, 1}, {2}, {3, 4}}).value();
-  const BucketOrder b = BucketOrder::FromBuckets(5, {{1, 2}, {0}, {3, 4}}).value();
+  const BucketOrder a =
+      BucketOrder::FromBuckets(5, {{0, 1}, {2}, {3, 4}}).value();
+  const BucketOrder b =
+      BucketOrder::FromBuckets(5, {{1, 2}, {0}, {3, 4}}).value();
   // Prefix 2 canonical: a -> {0,1}; b -> {1,2}: intersection 1, union 3.
   EXPECT_DOUBLE_EQ(PrefixJaccard(a, b, 2), 1.0 / 3.0);
   EXPECT_DOUBLE_EQ(PrefixJaccard(a, a, 3), 1.0);
@@ -43,7 +45,8 @@ TEST(PrefixJaccardTest, BucketOrders) {
 
 TEST(WinnerReciprocalRankTest, Values) {
   const Permutation truth(6);
-  const Permutation shifted = Permutation::FromOrder({3, 0, 1, 2, 4, 5}).value();
+  const Permutation shifted =
+      Permutation::FromOrder({3, 0, 1, 2, 4, 5}).value();
   // truth winner = 0; in `shifted` it sits at rank 2 (1-based).
   EXPECT_DOUBLE_EQ(WinnerReciprocalRank(shifted, truth), 0.5);
   EXPECT_DOUBLE_EQ(WinnerReciprocalRank(truth, truth), 1.0);

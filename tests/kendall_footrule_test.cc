@@ -142,5 +142,19 @@ TEST(FootruleTest, FootruleLocationSelfIsZero) {
   EXPECT_EQ(*d, 0);
 }
 
+TEST(KendallTest, MaxKendallHugeDomainsStayExact) {
+  // The old n*(n-1)/2 wrapped for n past 2^32; the checked form is exact up
+  // to the largest domain whose pair count fits an int64 (n = 2^32).
+  EXPECT_EQ(MaxKendall(3000000000ULL), 4499999998500000000LL);
+  EXPECT_EQ(MaxKendall(1ULL << 32),
+            (std::int64_t{1} << 31) * ((std::int64_t{1} << 32) - 1));
+}
+
+TEST(KendallDeathTest, MaxKendallAbortsPastInt64) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // One element past the boundary: n(n-1)/2 exceeds 2^63 - 1.
+  EXPECT_DEATH(MaxKendall((1ULL << 32) + 1), "integer overflow");
+}
+
 }  // namespace
 }  // namespace rankties

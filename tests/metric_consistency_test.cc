@@ -1,0 +1,93 @@
+// Property test for ComputeMetric consistency: the batch engine's
+// DistanceMatrix must equal the pairwise ComputeMetric for every MetricKind
+// on randomized workloads — correlated (quantized Mallows) and skew-tied
+// (Zipf bucket sizes) partial rankings from src/gen.
+
+#include <gtest/gtest.h>
+
+#include "core/batch_engine.h"
+#include "core/metric_registry.h"
+#include "gen/mallows.h"
+#include "gen/zipf.h"
+#include "rank/bucket_order.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rankties {
+namespace {
+
+// A partial ranking whose bucket labels follow a Zipf law: a few huge
+// popular buckets and a long tail — the tie structure of database
+// attributes with a skewed value distribution.
+BucketOrder ZipfTied(std::size_t n, std::size_t levels, double s, Rng& rng) {
+  const ZipfSampler sampler(levels, s);
+  std::vector<std::int64_t> keys(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    keys[e] = static_cast<std::int64_t>(sampler.Sample(rng));
+  }
+  return BucketOrder::FromIntKeys(keys);
+}
+
+std::vector<BucketOrder> RandomWorkload(std::size_t m, std::size_t n,
+                                        Rng& rng) {
+  const Permutation center = Permutation::Random(n, rng);
+  std::vector<BucketOrder> lists;
+  for (std::size_t i = 0; i < m; ++i) {
+    switch (i % 3) {
+      case 0:
+        lists.push_back(QuantizedMallows(center, 0.5, 5, rng));
+        break;
+      case 1:
+        lists.push_back(QuantizedMallows(center, 0.9, 3, rng));
+        break;
+      default:
+        lists.push_back(ZipfTied(n, 6, 1.2, rng));
+        break;
+    }
+  }
+  return lists;
+}
+
+class MetricConsistencyTest : public testing::Test {
+ protected:
+  ~MetricConsistencyTest() override { ThreadPool::SetGlobalThreads(0); }
+};
+
+TEST_F(MetricConsistencyTest, DistanceMatrixEqualsPairwiseComputeMetric) {
+  Rng rng(20240806);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t m = static_cast<std::size_t>(rng.UniformInt(4, 10));
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(8, 48));
+    const std::vector<BucketOrder> lists = RandomWorkload(m, n, rng);
+    for (MetricKind kind : AllMetricKinds()) {
+      const auto matrix = DistanceMatrix(kind, lists);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          EXPECT_EQ(matrix[i][j], ComputeMetric(kind, lists[i], lists[j]))
+              << MetricName(kind) << " trial " << trial << " entry (" << i
+              << ", " << j << ") with m=" << m << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(MetricConsistencyTest, HoldsAtEveryThreadCount) {
+  Rng rng(777);
+  const std::vector<BucketOrder> lists = RandomWorkload(9, 30, rng);
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    for (MetricKind kind : AllMetricKinds()) {
+      const auto matrix = DistanceMatrix(kind, lists);
+      for (std::size_t i = 0; i < lists.size(); ++i) {
+        for (std::size_t j = 0; j < lists.size(); ++j) {
+          EXPECT_EQ(matrix[i][j], ComputeMetric(kind, lists[i], lists[j]))
+              << MetricName(kind) << " at " << threads << " threads";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rankties

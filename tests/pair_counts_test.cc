@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "gen/random_orders.h"
 #include "rank/refinement.h"
 #include "util/rng.h"
@@ -107,6 +109,24 @@ INSTANTIATE_TEST_SUITE_P(Sizes, PairCountsParityTest,
 TEST(PairCountsTest, TinyDomains) {
   const BucketOrder one = BucketOrder::SingleBucket(1);
   EXPECT_EQ(ComputePairCounts(one, one).Total(), 0);
+}
+
+TEST(PairCountsTest, TotalAtInt64BoundaryPasses) {
+  PairCounts c;
+  c.concordant = std::numeric_limits<std::int64_t>::max() - 10;
+  c.discordant = 4;
+  c.tied_sigma_only = 3;
+  c.tied_tau_only = 2;
+  c.tied_both = 1;
+  EXPECT_EQ(c.Total(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(PairCountsDeathTest, TotalAbortsInsteadOfWrapping) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PairCounts c;
+  c.concordant = std::numeric_limits<std::int64_t>::max();
+  c.discordant = 1;  // one pair past 2^63 - 1: the sum must not wrap
+  EXPECT_DEATH(c.Total(), "integer overflow");
 }
 
 }  // namespace

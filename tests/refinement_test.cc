@@ -16,8 +16,10 @@ BucketOrder Must(StatusOr<BucketOrder> order) {
 }
 
 TEST(RefinementTest, IsRefinementOfBasics) {
-  const BucketOrder coarse = Must(BucketOrder::FromBuckets(4, {{0, 1}, {2, 3}}));
-  const BucketOrder fine = Must(BucketOrder::FromBuckets(4, {{0}, {1}, {2, 3}}));
+  const BucketOrder coarse =
+      Must(BucketOrder::FromBuckets(4, {{0, 1}, {2, 3}}));
+  const BucketOrder fine =
+      Must(BucketOrder::FromBuckets(4, {{0}, {1}, {2, 3}}));
   const BucketOrder other = Must(BucketOrder::FromBuckets(4, {{0, 2}, {1, 3}}));
   EXPECT_TRUE(IsRefinementOf(fine, coarse));
   EXPECT_FALSE(IsRefinementOf(coarse, fine));
@@ -31,7 +33,8 @@ TEST(RefinementTest, IsRefinementOfBasics) {
 TEST(RefinementTest, IsRefinementRejectsOrderFlip) {
   // Same partition granularity but flipped bucket order.
   const BucketOrder a = Must(BucketOrder::FromBuckets(4, {{0, 1}, {2, 3}}));
-  const BucketOrder flipped = Must(BucketOrder::FromBuckets(4, {{2, 3}, {0, 1}}));
+  const BucketOrder flipped =
+      Must(BucketOrder::FromBuckets(4, {{2, 3}, {0, 1}}));
   EXPECT_FALSE(IsRefinementOf(flipped, a));
 }
 

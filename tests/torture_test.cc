@@ -101,7 +101,9 @@ TEST_P(TortureTest, AllFastPathsMatchReferences) {
   for (int round = 0; round < 10; ++round) {
     const std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 9));
     std::vector<std::int64_t> scores(n);
-    for (auto& s : scores) s = 2 * rng.UniformInt(1, 3 * static_cast<std::int64_t>(n));
+    for (auto& s : scores) {
+      s = 2 * rng.UniformInt(1, 3 * static_cast<std::int64_t>(n));
+    }
     auto brute = OptimalBucketingBrute(scores);
     ASSERT_TRUE(brute.ok());
     for (auto algo :

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
 #include <set>
+#include <stdexcept>
 
+#include "util/checked_math.h"
 #include "util/combinatorics.h"
 #include "util/fenwick.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rankties {
 namespace {
@@ -193,6 +197,105 @@ TEST(RngTest, ShufflePreservesMultiset) {
   rng.Shuffle(shuffled);
   std::sort(shuffled.begin(), shuffled.end());
   EXPECT_EQ(shuffled, v);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(0, visits.size(), 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleChunkRangesRunInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A range no larger than the grain is one chunk: executed on the caller.
+  pool.ParallelFor(0, 3, 8, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 3u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::int64_t sum = 0;  // serial inline execution: plain int is safe
+  pool.ParallelFor(0, 100, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<std::int64_t>(i);
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(0, 8, 1, [&](std::size_t, std::size_t) {
+    // Nested loops degrade to serial on the worker — must not deadlock.
+    pool.ParallelFor(0, 10, 1, [&](std::size_t lo, std::size_t hi) {
+      inner_total.fetch_add(static_cast<int>(hi - lo),
+                            std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ExceptionIsRethrownOnCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(0, 64, 1,
+                                [](std::size_t lo, std::size_t) {
+                                  if (lo == 13) {
+                                    throw std::runtime_error("chunk 13");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParseThreadsSpec) {
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec(""), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec("8"), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec("1"), 1u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec("0"), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec("-2"), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec("4x"), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec("banana"), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadsSpec("99999"), 1024u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3u);
+  ThreadPool::SetGlobalThreads(0);  // back to the default
+  EXPECT_GE(ThreadPool::GlobalThreads(), 1u);
+}
+
+TEST(CheckedMathTest, InRangeValuesPassThrough) {
+  EXPECT_EQ(CheckedAdd(2, 3), 5);
+  EXPECT_EQ(CheckedAdd(std::numeric_limits<std::int64_t>::max(), 0),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(CheckedAdd(std::numeric_limits<std::int64_t>::min(), 0),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(CheckedMul(1LL << 31, 1LL << 31), 1LL << 62);
+  EXPECT_EQ(CheckedMul(-(1LL << 31), 1LL << 31), -(1LL << 62));
+  EXPECT_EQ(CheckedInt64(42u), 42);
+}
+
+TEST(CheckedMathDeathTest, AddAndMulAbortOnOverflow) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CheckedAdd(std::numeric_limits<std::int64_t>::max(), 1),
+               "integer overflow");
+  EXPECT_DEATH(CheckedMul(1LL << 32, 1LL << 31), "integer overflow");
+  EXPECT_DEATH(
+      CheckedInt64(std::numeric_limits<std::size_t>::max()),
+      "integer overflow");
 }
 
 }  // namespace
