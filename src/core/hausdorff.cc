@@ -35,6 +35,7 @@ Theorem5Pairs BuildTheorem5Pairs(const BucketOrder& sigma,
 }  // namespace
 
 std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
+  if (sigma.n() < 2) return 0;  // no pairs on a degenerate universe
   const PairCounts counts = ComputePairCounts(sigma, tau);
   return counts.discordant +
          std::max(counts.tied_sigma_only, counts.tied_tau_only);
@@ -42,12 +43,14 @@ std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
 
 std::int64_t KHausdorffTheorem5(const BucketOrder& sigma,
                                 const BucketOrder& tau) {
+  if (sigma.n() < 2) return 0;  // skip the construction entirely
   const Theorem5Pairs pairs = BuildTheorem5Pairs(sigma, tau);
   return std::max(KendallTau(pairs.sigma1, pairs.tau1),
                   KendallTau(pairs.sigma2, pairs.tau2));
 }
 
 std::int64_t TwiceFHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
+  if (sigma.n() < 2) return 0;  // skip the construction entirely
   const Theorem5Pairs pairs = BuildTheorem5Pairs(sigma, tau);
   return 2 * std::max(Footrule(pairs.sigma1, pairs.tau1),
                       Footrule(pairs.sigma2, pairs.tau2));

@@ -11,6 +11,8 @@ namespace rankties {
 /// the sets of full refinements of sigma and tau. Computed in O(n log n)
 /// through Proposition 6: KHaus = |U| + max(|S|, |T|) where U is the set of
 /// discordant untied pairs and S/T the pairs tied in exactly one input.
+/// All Hausdorff entry points return 0 on degenerate universes (n < 2)
+/// without touching the construction or counting machinery.
 std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau);
 
 /// KHaus via the Theorem 5 characterization: constructs the two candidate

@@ -16,10 +16,12 @@ double KendallPFromCounts(const PairCounts& counts, double p) {
 
 double KendallP(const BucketOrder& sigma, const BucketOrder& tau, double p) {
   assert(p >= 0.0 && p <= 1.0);
+  if (sigma.n() < 2) return 0.0;  // no pairs on a degenerate universe
   return KendallPFromCounts(ComputePairCounts(sigma, tau), p);
 }
 
 std::int64_t TwiceKprof(const BucketOrder& sigma, const BucketOrder& tau) {
+  if (sigma.n() < 2) return 0;  // no pairs on a degenerate universe
   const PairCounts counts = ComputePairCounts(sigma, tau);
   return 2 * counts.discordant + counts.tied_sigma_only +
          counts.tied_tau_only;
@@ -69,6 +71,7 @@ std::vector<std::int64_t> FProfileTwice(const BucketOrder& sigma) {
 }
 
 double Kavg(const BucketOrder& sigma, const BucketOrder& tau) {
+  if (sigma.n() < 2) return 0.0;
   const PairCounts c = ComputePairCounts(sigma, tau);
   return static_cast<double>(c.discordant) +
          static_cast<double>(c.tied_sigma_only + c.tied_tau_only +
@@ -79,6 +82,8 @@ double Kavg(const BucketOrder& sigma, const BucketOrder& tau) {
 double KavgSampled(const BucketOrder& sigma, const BucketOrder& tau,
                    int samples, Rng& rng) {
   assert(samples > 0);
+  if (sigma.n() < 2) return 0.0;  // skip sampling: every refinement pair
+                                  // has distance zero
   std::int64_t total = 0;
   for (int s = 0; s < samples; ++s) {
     total += KendallTau(RandomFullRefinement(sigma, rng),
@@ -88,6 +93,7 @@ double KavgSampled(const BucketOrder& sigma, const BucketOrder& tau,
 }
 
 double KavgBrute(const BucketOrder& sigma, const BucketOrder& tau) {
+  if (sigma.n() < 2) return 0.0;  // skip enumeration on degenerate inputs
   std::int64_t total = 0;
   std::int64_t pairs = 0;
   ForEachFullRefinement(sigma, [&](const Permutation& s) {

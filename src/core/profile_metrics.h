@@ -14,7 +14,8 @@ namespace rankties {
 /// §3.1): discordant pairs cost 1, pairs tied in exactly one ranking cost p,
 /// pairs tied in both cost 0. K^(p) is a metric for p in [1/2, 1], a near
 /// metric for p in (0, 1/2), and not a distance measure at p = 0
-/// (Proposition 13). O(n log n).
+/// (Proposition 13). O(n log n). Every metric entry point in this header
+/// returns 0 on degenerate universes (n < 2): there are no pairs to count.
 double KendallP(const BucketOrder& sigma, const BucketOrder& tau, double p);
 
 /// K^(p) from precomputed pair counts; O(1).

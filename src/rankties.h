@@ -69,6 +69,7 @@
 #include "rank/lattice.h"
 #include "rank/permutation.h"
 #include "rank/refinement.h"
+#include "ref/ref_metrics.h"
 #include "util/checked_math.h"
 #include "util/combinatorics.h"
 #include "util/rng.h"

@@ -1,0 +1,85 @@
+// Regression tests for degenerate inputs across every metric entry point:
+// the empty ranking (n = 0), the single-element universe (n = 1), and the
+// all-tied single bucket. All distances are 0 — there are no pairs to count
+// and positions coincide — and nothing may assert, divide by zero, or
+// return NaN.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/footrule.h"
+#include "core/hausdorff.h"
+#include "core/metric_registry.h"
+#include "core/profile_metrics.h"
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "ref/ref_metrics.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+void ExpectAllMetricsZero(const BucketOrder& sigma, const BucketOrder& tau) {
+  EXPECT_EQ(TwiceKprof(sigma, tau), 0);
+  EXPECT_EQ(TwiceFprof(sigma, tau), 0);
+  EXPECT_EQ(KHausdorff(sigma, tau), 0);
+  EXPECT_EQ(KHausdorffTheorem5(sigma, tau), 0);
+  EXPECT_EQ(TwiceFHausdorff(sigma, tau), 0);
+  for (double p : {0.0, 0.25, 0.5, 1.0}) {
+    const double kp = KendallP(sigma, tau, p);
+    EXPECT_EQ(kp, 0.0) << "p=" << p;
+    EXPECT_FALSE(std::isnan(kp));
+  }
+  for (MetricKind kind : AllMetricKinds()) {
+    EXPECT_EQ(ComputeMetric(kind, sigma, tau), 0.0) << MetricName(kind);
+    // The ref Hausdorff oracles enumerate every full refinement; keep them
+    // to universes where that is instantaneous.
+    if (sigma.n() <= 6) {
+      EXPECT_EQ(ref::ComputeMetric(kind, sigma, tau), 0.0) << MetricName(kind);
+    }
+  }
+}
+
+TEST(DegenerateInputsTest, EmptyRanking) {
+  const BucketOrder empty;
+  ASSERT_EQ(empty.n(), 0u);
+  ExpectAllMetricsZero(empty, empty);
+  EXPECT_EQ(Kavg(empty, empty), 0.0);
+  EXPECT_EQ(KavgBrute(empty, empty), 0.0);
+  Rng rng(1);
+  EXPECT_EQ(KavgSampled(empty, empty, 16, rng), 0.0);
+}
+
+TEST(DegenerateInputsTest, SingleElementUniverse) {
+  const BucketOrder single = BucketOrder::SingleBucket(1);
+  const BucketOrder as_perm = BucketOrder::FromPermutation(Permutation(1));
+  ExpectAllMetricsZero(single, single);
+  ExpectAllMetricsZero(single, as_perm);
+  EXPECT_EQ(Kavg(single, as_perm), 0.0);
+  EXPECT_EQ(KavgBrute(single, as_perm), 0.0);
+  Rng rng(2);
+  EXPECT_EQ(KavgSampled(single, as_perm, 16, rng), 0.0);
+}
+
+TEST(DegenerateInputsTest, AllTiedBucketIsIdentity) {
+  for (std::size_t n : {2u, 5u, 17u}) {
+    const BucketOrder tied = BucketOrder::SingleBucket(n);
+    ExpectAllMetricsZero(tied, tied);
+  }
+}
+
+TEST(DegenerateInputsTest, GuardsDoNotOvertrigger) {
+  // n = 2 is the smallest non-degenerate universe; the guards must leave
+  // it alone. [0 1] vs [0 | 1]: one pair, tied in exactly one ranking.
+  const BucketOrder tied = BucketOrder::SingleBucket(2);
+  const BucketOrder split = *BucketOrder::FromBuckets(2, {{0}, {1}});
+  EXPECT_EQ(TwiceKprof(tied, split), 1);
+  EXPECT_EQ(KHausdorff(tied, split), 1);
+  EXPECT_EQ(KendallP(tied, split, 0.25), 0.25);
+  EXPECT_EQ(Kavg(tied, split), 0.5);
+}
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,217 @@
+#include "fuzz/fuzz_corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+#include "gen/random_orders.h"
+#include "gen/zipf.h"
+#include "util/rng.h"
+
+namespace rankties::fuzz {
+
+namespace {
+
+// splitmix64: decorrelates consecutive seeds without hurting replay — the
+// raw seed is kept in FuzzCase, only the stream derivation is hashed.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Slices `ids` (already shuffled) into consecutive buckets of the given
+// sizes. Sizes must sum to ids.size().
+std::vector<std::vector<ElementId>> Slice(const std::vector<ElementId>& ids,
+                                          const std::vector<std::size_t>&
+                                              sizes) {
+  std::vector<std::vector<ElementId>> buckets;
+  std::size_t at = 0;
+  for (std::size_t s : sizes) {
+    buckets.emplace_back(ids.begin() + static_cast<std::ptrdiff_t>(at),
+                         ids.begin() + static_cast<std::ptrdiff_t>(at + s));
+    at += s;
+  }
+  assert(at == ids.size());
+  return buckets;
+}
+
+// Zipf-skewed bucket sizes: a popular head bucket and a long singleton
+// tail, the "few distinct values" extreme turned up to eleven.
+std::vector<std::size_t> ZipfSizes(std::size_t n, Rng& rng) {
+  const ZipfSampler sampler(8, 1.3);
+  std::vector<std::size_t> sizes;
+  std::size_t total = 0;
+  while (total < n) {
+    std::size_t s = sampler.Sample(rng) + 1;
+    // Square the head occasionally to force one giant bucket.
+    if (s > 1 && rng.Bernoulli(0.3)) s *= s;
+    s = std::min(s, n - total);
+    sizes.push_back(s);
+    total += s;
+  }
+  return sizes;
+}
+
+BucketOrder BuildZipf(std::size_t n, Rng& rng) {
+  std::vector<ElementId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.Shuffle(ids);
+  auto order = BucketOrder::FromBuckets(n, Slice(ids, ZipfSizes(n, rng)));
+  assert(order.ok());
+  return std::move(order).value();
+}
+
+BucketOrder BuildGiant(std::size_t n, Rng& rng) {
+  if (n == 0) return BucketOrder();
+  if (n == 1 || rng.Bernoulli(0.5)) return BucketOrder::SingleBucket(n);
+  // One giant bucket plus a single leading or trailing singleton.
+  std::vector<ElementId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.Shuffle(ids);
+  const ElementId lone = ids.back();
+  ids.pop_back();
+  std::vector<std::vector<ElementId>> buckets;
+  if (rng.Bernoulli(0.5)) {
+    buckets = {{lone}, ids};
+  } else {
+    buckets = {ids, {lone}};
+  }
+  auto order = BucketOrder::FromBuckets(n, std::move(buckets));
+  assert(order.ok());
+  return std::move(order).value();
+}
+
+// Shared-prefix pair: both sides start with the same bucket sequence over
+// the same head elements; the tails are bucketed independently.
+void BuildSharedPrefix(std::size_t n, Rng& rng, BucketOrder* sigma,
+                       BucketOrder* tau) {
+  std::vector<ElementId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.Shuffle(ids);
+  const std::size_t head = static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(n / 2)));
+  const std::vector<ElementId> head_ids(ids.begin(),
+                                        ids.begin() +
+                                            static_cast<std::ptrdiff_t>(head));
+  std::vector<ElementId> tail_ids(ids.begin() +
+                                      static_cast<std::ptrdiff_t>(head),
+                                  ids.end());
+  std::vector<std::vector<ElementId>> shared =
+      head == 0 ? std::vector<std::vector<ElementId>>{}
+                : Slice(head_ids, RandomType(head, rng));
+  auto build_side = [&](Rng& side_rng) {
+    std::vector<std::vector<ElementId>> buckets = shared;
+    std::vector<ElementId> tail = tail_ids;
+    side_rng.Shuffle(tail);
+    if (!tail.empty()) {
+      for (auto& bucket : Slice(tail, RandomType(tail.size(), side_rng))) {
+        buckets.push_back(std::move(bucket));
+      }
+    }
+    auto order = BucketOrder::FromBuckets(n, std::move(buckets));
+    assert(order.ok());
+    return std::move(order).value();
+  };
+  *sigma = build_side(rng);
+  *tau = build_side(rng);
+}
+
+}  // namespace
+
+const char* FamilyName(Family family) {
+  switch (family) {
+    case Family::kAllSingleton:
+      return "all-singleton";
+    case Family::kOneGiantBucket:
+      return "one-giant-bucket";
+    case Family::kZipfBuckets:
+      return "zipf-buckets";
+    case Family::kTopKNil:
+      return "top-k-nil";
+    case Family::kSharedPrefix:
+      return "shared-prefix";
+    case Family::kUniformType:
+      return "uniform-type";
+  }
+  return "unknown";
+}
+
+std::string FuzzCase::Describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " family=" << FamilyName(family) << " n=" << n();
+  if (n() <= 16) {
+    out << " sigma=" << sigma.ToString() << " tau=" << tau.ToString()
+        << " rho=" << rho.ToString();
+  } else {
+    out << " sigma.buckets=" << sigma.num_buckets()
+        << " tau.buckets=" << tau.num_buckets()
+        << " rho.buckets=" << rho.num_buckets();
+  }
+  return out.str();
+}
+
+FuzzCase MakeCase(std::uint64_t seed, std::size_t min_n, std::size_t max_n) {
+  assert(min_n >= 2 && min_n <= max_n);  // degenerate universes (n < 2)
+                                         // are covered by dedicated tests
+  Rng rng(Mix(seed));
+  FuzzCase c;
+  c.seed = seed;
+  c.family = static_cast<Family>(rng.UniformInt(0, kNumFamilies - 1));
+  const std::size_t n = static_cast<std::size_t>(
+      rng.UniformInt(static_cast<std::int64_t>(min_n),
+                     static_cast<std::int64_t>(max_n)));
+  switch (c.family) {
+    case Family::kAllSingleton:
+      c.sigma = BucketOrder::FromPermutation(Permutation::Random(n, rng));
+      c.tau = BucketOrder::FromPermutation(Permutation::Random(n, rng));
+      break;
+    case Family::kOneGiantBucket:
+      c.sigma = BuildGiant(n, rng);
+      // Keep the partner fine-grained so enumeration oracles stay feasible;
+      // occasionally make both sides giant (distance 0 edge).
+      c.tau = rng.Bernoulli(0.2)
+                  ? BuildGiant(n, rng)
+                  : BucketOrder::FromPermutation(Permutation::Random(n, rng));
+      break;
+    case Family::kZipfBuckets:
+      c.sigma = BuildZipf(n, rng);
+      c.tau = BuildZipf(n, rng);
+      break;
+    case Family::kTopKNil:
+      c.sigma = RandomTopK(
+          n, static_cast<std::size_t>(
+                 rng.UniformInt(0, static_cast<std::int64_t>(n))),
+          rng);
+      c.tau = RandomTopK(
+          n, static_cast<std::size_t>(
+                 rng.UniformInt(0, static_cast<std::int64_t>(n))),
+          rng);
+      break;
+    case Family::kSharedPrefix:
+      BuildSharedPrefix(n, rng, &c.sigma, &c.tau);
+      break;
+    case Family::kUniformType:
+      c.sigma = RandomBucketOrder(n, rng);
+      c.tau = RandomBucketOrder(n, rng);
+      break;
+  }
+  c.rho = RandomBucketOrder(n, rng);
+  return c;
+}
+
+BucketOrder Relabel(const BucketOrder& order, const Permutation& names) {
+  assert(order.n() == names.n());
+  std::vector<BucketIndex> bucket_of(order.n());
+  for (std::size_t e = 0; e < order.n(); ++e) {
+    const ElementId id = static_cast<ElementId>(e);
+    bucket_of[static_cast<std::size_t>(names.Rank(id))] = order.BucketOf(id);
+  }
+  auto relabeled = BucketOrder::FromBucketIndex(bucket_of);
+  assert(relabeled.ok());
+  return std::move(relabeled).value();
+}
+
+}  // namespace rankties::fuzz

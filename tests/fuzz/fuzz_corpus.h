@@ -1,0 +1,61 @@
+#ifndef RANKTIES_TESTS_FUZZ_FUZZ_CORPUS_H_
+#define RANKTIES_TESTS_FUZZ_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+
+/// Deterministic structured fuzzer for partial-ranking pairs.
+///
+/// Every case is derived from a single 64-bit seed: the same seed always
+/// rebuilds the same (family, sigma, tau, rho) triple on every platform, so
+/// a failure anywhere reproduces from the printed seed alone
+/// (`fuzz_test --seed=<s>`). Families are chosen adversarially: the
+/// all-singleton / one-giant-bucket extremes, Zipf-skewed bucket sizes,
+/// top-k lists with a nil bucket, and shared-prefix pairs that keep the
+/// heads of sigma and tau identical while the tails diverge.
+namespace rankties::fuzz {
+
+enum class Family {
+  kAllSingleton,    ///< both sides full rankings (no ties at all)
+  kOneGiantBucket,  ///< one side a single all-tied bucket
+  kZipfBuckets,     ///< bucket sizes drawn from a Zipf head-heavy law
+  kTopKNil,         ///< top-k lists: k singletons + one bottom nil bucket
+  kSharedPrefix,    ///< identical bucket prefix, independent random tails
+  kUniformType,     ///< uniformly random composition + assignment
+};
+
+inline constexpr int kNumFamilies = 6;
+
+const char* FamilyName(Family family);
+
+/// One fuzz case: a pair (sigma, tau) for differential checks plus a third
+/// ranking rho over the same universe for triangle/metamorphic checks.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  Family family = Family::kUniformType;
+  BucketOrder sigma;
+  BucketOrder tau;
+  BucketOrder rho;
+
+  std::size_t n() const { return sigma.n(); }
+
+  /// "seed=0x2a family=zipf-buckets n=6 sigma=[0 1 | 2] ...", with the
+  /// bucket structure spelled out only for small universes.
+  std::string Describe() const;
+};
+
+/// Deterministically expands `seed` into a case with n in [min_n, max_n].
+/// The seed is hashed internally (splitmix64), so consecutive seeds give
+/// decorrelated cases while staying individually replayable.
+FuzzCase MakeCase(std::uint64_t seed, std::size_t min_n, std::size_t max_n);
+
+/// Renames every element e to names.Rank(e), preserving bucket structure.
+/// All four metrics must be invariant under this relabeling.
+BucketOrder Relabel(const BucketOrder& order, const Permutation& names);
+
+}  // namespace rankties::fuzz
+
+#endif  // RANKTIES_TESTS_FUZZ_FUZZ_CORPUS_H_

@@ -1,0 +1,276 @@
+// Differential + metamorphic fuzz harness for the four tie-aware metrics.
+//
+// Every case derives from a single 64-bit seed. Reproduce any CI failure
+// locally with
+//
+//     fuzz_test --seed=<s>
+//
+// (the seed is printed in every failure message). Sweep shape is
+// configurable: --seed-base=<s> / --cases=<n> / --failure-file=<path>, or
+// the environment equivalents RANKTIES_FUZZ_SEED_BASE /
+// RANKTIES_FUZZ_CASES / RANKTIES_FUZZ_FAILURE_FILE.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hausdorff.h"
+#include "core/kendall.h"
+#include "core/profile_metrics.h"
+#include "fuzz/differential.h"
+#include "fuzz/fuzz_corpus.h"
+#include "gen/random_orders.h"
+#include "rank/refinement.h"
+#include "util/rng.h"
+
+namespace rankties::fuzz {
+namespace {
+
+struct FuzzFlags {
+  std::uint64_t seed_base = 0xF00D;
+  std::int64_t cases = 1500;
+  std::optional<std::uint64_t> single_seed;
+  std::string failure_file;
+};
+
+FuzzFlags& Flags() {
+  static FuzzFlags flags;
+  return flags;
+}
+
+// The sweep mixes two size bands, chosen by the seed itself (never by loop
+// position) so that --seed=<s> rebuilds the identical case: two of three
+// seeds stay small enough for the exponential enumeration oracle, the
+// third exercises the polynomial paths on larger universes.
+FuzzCase MakeBandedCase(std::uint64_t seed) {
+  return seed % 3 == 2 ? MakeCase(seed, 8, 48) : MakeCase(seed, 2, 7);
+}
+
+void ReportFailures(const CheckStats& stats,
+                    const std::vector<std::uint64_t>& failing_seeds) {
+  for (const std::string& failure : stats.failures) {
+    ADD_FAILURE() << failure;
+  }
+  if (!Flags().failure_file.empty() && !failing_seeds.empty()) {
+    std::ofstream out(Flags().failure_file, std::ios::app);
+    for (std::uint64_t seed : failing_seeds) out << seed << "\n";
+  }
+}
+
+TEST(FuzzHarnessTest, DifferentialAndMetamorphicSweep) {
+  const DriverOptions options;
+  CheckStats stats;
+  std::vector<std::uint64_t> failing_seeds;
+  std::vector<std::uint64_t> seeds;
+  if (Flags().single_seed) {
+    seeds.push_back(*Flags().single_seed);
+  } else {
+    for (std::int64_t i = 0; i < Flags().cases; ++i) {
+      seeds.push_back(Flags().seed_base + static_cast<std::uint64_t>(i));
+    }
+  }
+  for (std::uint64_t seed : seeds) {
+    const FuzzCase c = MakeBandedCase(seed);
+    if (Flags().single_seed) {
+      std::fprintf(stderr, "replaying %s\n", c.Describe().c_str());
+    }
+    const std::size_t before = stats.failures.size();
+    CheckDifferential(c, options, &stats);
+    CheckMetamorphic(c, &stats);
+    if (stats.failures.size() != before) failing_seeds.push_back(seed);
+  }
+  ReportFailures(stats, failing_seeds);
+  std::fprintf(stderr,
+               "fuzz sweep: %lld cases, %lld comparisons, %lld with "
+               "enumeration oracle\n",
+               static_cast<long long>(seeds.size()),
+               static_cast<long long>(stats.comparisons),
+               static_cast<long long>(stats.enumeration_cases));
+  if (!Flags().single_seed && Flags().cases >= 1000) {
+    // The acceptance floor: the harness must actually exercise the
+    // oracle at scale, not silently skip it.
+    EXPECT_GE(stats.comparisons, 10'000);
+    EXPECT_GE(stats.enumeration_cases, Flags().cases / 20);
+  }
+}
+
+TEST(FuzzHarnessTest, BatchEnginePathsBitAgree) {
+  const DriverOptions options;
+  CheckStats stats;
+  std::vector<std::uint64_t> failing_seeds;
+  for (std::size_t n : {5u, 16u, 33u}) {
+    const std::uint64_t group_seed = Flags().seed_base + 7919 * n;
+    std::vector<BucketOrder> lists;
+    for (std::uint64_t offset = 0; offset < 4; ++offset) {
+      const FuzzCase c = MakeCase(group_seed + offset, n, n);
+      lists.push_back(c.sigma);
+      lists.push_back(c.tau);
+      lists.push_back(c.rho);
+    }
+    const std::size_t before = stats.failures.size();
+    CheckBatchEngine(lists, group_seed, options, &stats);
+    if (stats.failures.size() != before) failing_seeds.push_back(group_seed);
+  }
+  ReportFailures(stats, failing_seeds);
+  EXPECT_GT(stats.comparisons, 0);
+}
+
+// Satellite: Theorem 5 / Proposition 6 agreement on 1,000 seeded random
+// partial-ranking pairs — the combinatorial formula, the library's
+// Theorem 5 path, and a from-scratch construction of *both* refinement
+// pairs through the public rank API all coincide, and the constructed
+// rankings really are refinements.
+TEST(Theorem5AgreementTest, FormulaMatchesConstructionsOn1000Pairs) {
+  Rng rng(20040612);  // PODS 2004
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::size_t n =
+        static_cast<std::size_t>(rng.UniformInt(2, trial % 10 == 0 ? 64 : 24));
+    const BucketOrder sigma = RandomBucketOrder(n, rng);
+    const BucketOrder tau = RandomBucketOrder(n, rng);
+    const std::int64_t formula = KHausdorff(sigma, tau);
+    ASSERT_EQ(formula, KHausdorffTheorem5(sigma, tau))
+        << "trial " << trial << " n=" << n;
+
+    const Permutation anchor(n);  // rho: an arbitrary full ranking
+    const Permutation sigma1 =
+        TauRefineFull(anchor, TauRefine(tau.Reverse(), sigma));
+    const Permutation tau1 = TauRefineFull(anchor, TauRefine(sigma, tau));
+    const Permutation sigma2 = TauRefineFull(anchor, TauRefine(tau, sigma));
+    const Permutation tau2 =
+        TauRefineFull(anchor, TauRefine(sigma.Reverse(), tau));
+    for (const Permutation* s : {&sigma1, &sigma2}) {
+      ASSERT_TRUE(IsRefinementOf(BucketOrder::FromPermutation(*s), sigma))
+          << "trial " << trial;
+    }
+    for (const Permutation* t : {&tau1, &tau2}) {
+      ASSERT_TRUE(IsRefinementOf(BucketOrder::FromPermutation(*t), tau))
+          << "trial " << trial;
+    }
+    ASSERT_EQ(formula, std::max(KendallTau(sigma1, tau1),
+                                KendallTau(sigma2, tau2)))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+// Satellite: Proposition 13. K^(p) keeps the exact triangle inequality for
+// p in [1/2, 1]; below 1/2 it is only a near metric — the inequality can
+// fail, but never by more than the factor 1/(2p).
+TEST(Prop13Test, TriangleHoldsForMetricRange) {
+  Rng rng(0x13131313);
+  for (int trial = 0; trial < 400; ++trial) {
+    const FuzzCase c = MakeCase(0x1313000 + static_cast<std::uint64_t>(trial),
+                                2, 32);
+    for (double p : {0.5, 0.6, 0.75, 0.875, 1.0}) {
+      EXPECT_LE(KendallP(c.sigma, c.rho, p),
+                KendallP(c.sigma, c.tau, p) + KendallP(c.tau, c.rho, p))
+          << c.Describe() << " p=" << p;
+    }
+    for (int s = 0; s < 4; ++s) {
+      const double p = rng.UniformReal(0.01, 0.49);
+      const double detour =
+          KendallP(c.sigma, c.tau, p) + KendallP(c.tau, c.rho, p);
+      const double bound = detour / (2.0 * p);
+      EXPECT_LE(KendallP(c.sigma, c.rho, p), bound + 1e-9 * (1.0 + bound))
+          << c.Describe() << " p=" << p;
+    }
+  }
+}
+
+TEST(Prop13Test, TriangleViolationWitnessBelowHalf) {
+  // The canonical witness: [0|1] -> [0 1] -> [1|0]. The direct distance is
+  // 1 (one discordant pair); each hop costs only p. For p < 1/2 the
+  // triangle inequality fails, and the ratio attains the relaxation
+  // constant 1/(2p) exactly.
+  const BucketOrder split = *BucketOrder::FromBuckets(2, {{0}, {1}});
+  const BucketOrder tied = BucketOrder::SingleBucket(2);
+  const BucketOrder flipped = *BucketOrder::FromBuckets(2, {{1}, {0}});
+  for (double p : {0.1, 0.25, 0.4, 0.49}) {
+    const double direct = KendallP(split, flipped, p);
+    const double detour =
+        KendallP(split, tied, p) + KendallP(tied, flipped, p);
+    EXPECT_GT(direct, detour) << "p=" << p;          // plain triangle fails
+    EXPECT_DOUBLE_EQ(direct / detour, 1.0 / (2.0 * p));  // ... exactly 1/(2p)
+  }
+  for (double p : {0.5, 0.75, 1.0}) {
+    EXPECT_LE(KendallP(split, flipped, p),
+              KendallP(split, tied, p) + KendallP(tied, flipped, p));
+  }
+}
+
+// Seeds pinned from development sweeps (a 100,000-case run of the
+// differential driver found no core-vs-oracle divergence). One replayed
+// representative per adversarial family — fully tied giant buckets,
+// nil-bucket top-k pairs, zipf heads, shared prefixes — plus the seed-space
+// extremes; they must stay green forever.
+TEST(FuzzRegressionTest, PinnedSeeds) {
+  const DriverOptions options;
+  CheckStats stats;
+  std::vector<std::uint64_t> failing_seeds;
+  const std::uint64_t pinned[] = {
+      0xF00D,      // first seed of the default CI window (all-singleton n=5)
+      3,           // all-singleton n=7 against a coarse rho
+      9,           // one-giant-bucket: sigma fully tied at n=4
+      13,          // top-k-nil: tau = [0 | 1 2], k=1 with nil bottom bucket
+      22,          // zipf-buckets whose head swallowed the whole universe
+      14,          // zipf-buckets at n=44, beyond the enumeration budget
+      0xDEADBEEF,  // shared-prefix pair at n=37
+      0x7FFFFFFFFFFFFFFF,  // seed arithmetic near the top of the range
+  };
+  for (std::uint64_t seed : pinned) {
+    const FuzzCase c = MakeBandedCase(seed);
+    const std::size_t before = stats.failures.size();
+    CheckDifferential(c, options, &stats);
+    CheckMetamorphic(c, &stats);
+    if (stats.failures.size() != before) failing_seeds.push_back(seed);
+  }
+  ReportFailures(stats, failing_seeds);
+}
+
+}  // namespace
+}  // namespace rankties::fuzz
+
+namespace {
+
+std::uint64_t ParseU64(const char* text) {
+  return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 0));
+}
+
+void ParseFuzzFlags(int argc, char** argv) {
+  rankties::fuzz::FuzzFlags& flags = rankties::fuzz::Flags();
+  if (const char* env = std::getenv("RANKTIES_FUZZ_SEED_BASE")) {
+    flags.seed_base = ParseU64(env);
+  }
+  if (const char* env = std::getenv("RANKTIES_FUZZ_CASES")) {
+    flags.cases = static_cast<std::int64_t>(ParseU64(env));
+  }
+  if (const char* env = std::getenv("RANKTIES_FUZZ_FAILURE_FILE")) {
+    flags.failure_file = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.single_seed = ParseU64(arg + 7);
+    } else if (std::strncmp(arg, "--seed-base=", 12) == 0) {
+      flags.seed_base = ParseU64(arg + 12);
+    } else if (std::strncmp(arg, "--cases=", 8) == 0) {
+      flags.cases = static_cast<std::int64_t>(ParseU64(arg + 8));
+    } else if (std::strncmp(arg, "--failure-file=", 15) == 0) {
+      flags.failure_file = arg + 15;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ParseFuzzFlags(argc, argv);
+  return RUN_ALL_TESTS();
+}
