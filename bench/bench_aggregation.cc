@@ -10,7 +10,8 @@
 // it times the parallel aggregation hot paths (BestOfCandidates over the
 // input x input grid, the per-element median scores, batch top-k overlap
 // scoring) at threads=1 vs threads=N, verifies bit-identical results, and
-// emits rankties-bench-v1 JSON for the CI bench-regression gate.
+// emits rankties-bench-v2 JSON (with an obs metrics block) for the CI
+// bench-regression gate.
 
 #include <algorithm>
 #include <cstdio>
@@ -30,6 +31,7 @@
 #include "core/optimal_bucketing.h"
 #include "gen/evaluation.h"
 #include "gen/mallows.h"
+#include "obs/obs.h"
 #include "gen/random_orders.h"
 #include "rank/refinement.h"
 #include "util/stats.h"
@@ -320,6 +322,9 @@ bool EmitComparison(std::vector<benchjson::Record>& records,
 }
 
 int RunJsonMode() {
+  // Collection stays off during timed sections; one instrumented pass at
+  // the end fills the bench-v2 metrics block.
+  obs::SetEnabled(false);
   const std::size_t par_threads = ThreadPool::DefaultThreads();
   std::vector<benchjson::Record> records;
   bool all_match = true;
@@ -371,7 +376,19 @@ int RunJsonMode() {
   }
 
   ThreadPool::SetGlobalThreads(0);  // restore the default pool
-  benchjson::WriteDocument(stdout, "bench_aggregation", records);
+
+  // One instrumented BestOfCandidates pass for the metrics block.
+  obs::Registry::Global().ResetAll();
+  obs::SetEnabled(true);
+  {
+    const std::vector<BucketOrder> inputs = JsonModeInputs(32, 200, 3232);
+    auto best = BestOfCandidates(MetricKind::kKprof, inputs, inputs);
+    if (!best.ok()) all_match = false;
+  }
+  obs::SetEnabled(false);
+
+  benchjson::WriteDocument(stdout, "bench_aggregation", records,
+                           obs::MetricsJsonObject());
   if (!all_match) {
     std::fprintf(stderr,
                  "bench_aggregation: parallel results diverged from the "

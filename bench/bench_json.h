@@ -2,11 +2,16 @@
 #define RANKTIES_BENCH_BENCH_JSON_H_
 
 // Tiny machine-readable output helper shared by the bench harnesses'
-// --json modes (bench_metrics, bench_aggregation). The CI bench-regression
-// gate parses this, so the shape is versioned: a top-level object
-//   {"schema": "rankties-bench-v1", "harness": "...", "records": [...]}
-// where each record is a flat object of strings/numbers/bools. No external
-// JSON dependency — the writer covers exactly what the records need.
+// --json modes (bench_metrics, bench_aggregation, bench_obs). The CI
+// bench-regression gate parses this, so the shape is versioned: a top-level
+// object
+//   {"schema": "rankties-bench-v2", "harness": "...", "records": [...],
+//    "metrics": {...}}
+// where each record is a flat object of strings/numbers/bools. v2 adds the
+// optional top-level "metrics" object (the obs counter/histogram snapshot,
+// see docs/OBSERVABILITY.md); v1 consumers that read only "records" keep
+// working unchanged. No external JSON dependency — the writer covers
+// exactly what the records need.
 
 #include <cstdio>
 #include <cstring>
@@ -71,17 +76,24 @@ class Record {
   std::vector<std::string> values_;
 };
 
-/// Writes the versioned document to `out`.
+/// Writes the versioned document to `out`. `metrics_json`, when non-empty,
+/// must be a serialized JSON object (obs::MetricsJsonObject()) and becomes
+/// the optional top-level "metrics" member introduced by bench-v2.
 inline void WriteDocument(std::FILE* out, const std::string& harness,
-                          const std::vector<Record>& records) {
-  std::fprintf(out, "{\"schema\": \"rankties-bench-v1\", \"harness\": \"%s\", "
+                          const std::vector<Record>& records,
+                          const std::string& metrics_json = "") {
+  std::fprintf(out, "{\"schema\": \"rankties-bench-v2\", \"harness\": \"%s\", "
                     "\"records\": [\n",
                Escape(harness).c_str());
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(out, "  %s%s\n", records[i].ToJson().c_str(),
                  i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(out, "]}\n");
+  if (metrics_json.empty()) {
+    std::fprintf(out, "]}\n");
+  } else {
+    std::fprintf(out, "],\n\"metrics\": %s}\n", metrics_json.c_str());
+  }
 }
 
 inline bool HasFlag(int argc, char** argv, const char* flag) {

@@ -5,8 +5,8 @@
 // `bench_metrics --json` switches to the batch-engine comparison mode: it
 // times DistanceMatrix over batches of quantized-Mallows lists at threads=1
 // vs threads=N (N = RANKTIES_THREADS or the hardware), verifies the two
-// matrices are bit-identical, and emits rankties-bench-v1 JSON for the CI
-// bench-regression gate.
+// matrices are bit-identical, and emits rankties-bench-v2 JSON (with an obs
+// metrics block) for the CI bench-regression gate.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +14,7 @@
 
 #include "bench_json.h"
 #include "core/batch_engine.h"
+#include "obs/obs.h"
 #include "core/footrule.h"
 #include "core/hausdorff.h"
 #include "core/pair_counts.h"
@@ -138,6 +139,10 @@ double TimeMatrix(MetricKind kind, const std::vector<BucketOrder>& lists,
 }
 
 int RunJsonMode() {
+  // Timed sections run with collection off (the gate compares wall times);
+  // obs is switched on afterwards for one instrumented pass so the document
+  // carries a populated bench-v2 metrics block.
+  obs::SetEnabled(false);
   struct Case {
     MetricKind kind;
     std::size_t m;
@@ -193,7 +198,21 @@ int RunJsonMode() {
     }
   }
   ThreadPool::SetGlobalThreads(0);  // restore the default pool
-  benchjson::WriteDocument(stdout, "bench_metrics", records);
+
+  // One instrumented pass over the smallest case to populate the metrics
+  // block (counters/histograms from the batch engine and thread pool).
+  obs::Registry::Global().ResetAll();
+  obs::SetEnabled(true);
+  {
+    const std::vector<BucketOrder> lists = MakeMallowsLists(16, 512, 16512);
+    std::vector<std::vector<double>> matrix = DistanceMatrix(
+        MetricKind::kKprof, lists);
+    benchmark::DoNotOptimize(matrix);
+  }
+  obs::SetEnabled(false);
+
+  benchjson::WriteDocument(stdout, "bench_metrics", records,
+                           obs::MetricsJsonObject());
   if (!all_match) {
     std::fprintf(stderr,
                  "bench_metrics: parallel DistanceMatrix diverged from the "

@@ -1,0 +1,225 @@
+// Observability overhead harness (docs/OBSERVABILITY.md).
+//
+// Measures what the src/obs subsystem costs the hot paths it instruments:
+//  * end-to-end — DistanceMatrix wall time with collection + tracing ON vs
+//    OFF, reported as overhead_pct (the CI bench gate asserts < 2%);
+//  * primitives — ns/op of Counter::Add, Histogram::Record, and a
+//    TraceSpan while recording.
+//
+// With -DRANKTIES_OBS_DISABLED the same binary measures the compiled-out
+// configuration: every primitive optimizes to nothing and the end-to-end
+// delta is pure noise (the acceptance bar is "exactly zero overhead").
+//
+// `bench_obs --json` emits rankties-bench-v2 JSON (with a populated
+// metrics block) for the CI bench-regression gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/batch_engine.h"
+#include "gen/mallows.h"
+#include "obs/obs.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rankties {
+namespace {
+
+constexpr std::size_t kLists = 48;
+constexpr std::size_t kDomain = 600;
+constexpr int kReps = 12;  // best-of needs headroom on noisy CI runners
+constexpr std::int64_t kPrimitiveOps = 1'000'000;
+
+#ifdef RANKTIES_OBS_DISABLED
+constexpr bool kCompiledOut = true;
+#else
+constexpr bool kCompiledOut = false;
+#endif
+
+std::vector<BucketOrder> MakeLists(std::size_t m, std::size_t n) {
+  Rng rng(1000 * m + n);
+  const Permutation center = Permutation::Random(n, rng);
+  std::vector<BucketOrder> lists;
+  lists.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    lists.push_back(QuantizedMallows(center, 0.7, 8, rng));
+  }
+  return lists;
+}
+
+double TimeMatrixOnce(const std::vector<BucketOrder>& lists) {
+  Stopwatch watch;
+  const std::vector<std::vector<double>> matrix =
+      DistanceMatrix(MetricKind::kKprof, lists);
+  const double seconds = watch.Seconds();
+  if (matrix.empty()) std::abort();  // keep the result observable
+  return seconds;
+}
+
+struct OverheadResult {
+  double baseline_seconds = 0.0;
+  double enabled_seconds = 0.0;
+  double OverheadPct() const {
+    return baseline_seconds <= 0.0
+               ? 0.0
+               : (enabled_seconds / baseline_seconds - 1.0) * 100.0;
+  }
+};
+
+// Alternates OFF/ON reps (resists thermal and scheduler drift) and keeps
+// the best rep of each configuration: best-of is the standard noise-robust
+// estimator for "how fast can this go".
+OverheadResult MeasureOverhead() {
+  const std::vector<BucketOrder> lists = MakeLists(kLists, kDomain);
+  OverheadResult result;
+  TimeMatrixOnce(lists);  // warm-up (page-in, pool spin-up)
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::SetEnabled(false);
+    const double off = TimeMatrixOnce(lists);
+    if (rep == 0 || off < result.baseline_seconds) {
+      result.baseline_seconds = off;
+    }
+
+    obs::SetEnabled(true);
+    obs::TraceRecorder::Global().Start();
+    const double on = TimeMatrixOnce(lists);
+    obs::TraceRecorder::Global().Stop();
+    if (rep == 0 || on < result.enabled_seconds) {
+      result.enabled_seconds = on;
+    }
+  }
+  obs::SetEnabled(false);
+  return result;
+}
+
+double CounterAddNsPerOp(bool enabled) {
+  obs::SetEnabled(enabled);
+  obs::Counter* counter = obs::GetCounter("bench.obs.counter_add");
+  Stopwatch watch;
+  for (std::int64_t i = 0; i < kPrimitiveOps; ++i) counter->Add(1);
+  const double seconds = watch.Seconds();
+  obs::SetEnabled(false);
+  return seconds * 1e9 / static_cast<double>(kPrimitiveOps);
+}
+
+double HistogramRecordNsPerOp() {
+  obs::SetEnabled(true);
+  obs::Histogram* histogram = obs::GetHistogram("bench.obs.histogram_record");
+  Stopwatch watch;
+  for (std::int64_t i = 0; i < kPrimitiveOps; ++i) histogram->Record(i);
+  const double seconds = watch.Seconds();
+  obs::SetEnabled(false);
+  return seconds * 1e9 / static_cast<double>(kPrimitiveOps);
+}
+
+double TraceSpanNsPerOp() {
+  // Far fewer ops: each span takes the recorder mutex at destruction, and
+  // the buffer caps at kMaxSpans.
+  const std::int64_t ops = 100'000;
+  obs::SetEnabled(true);
+  obs::TraceRecorder::Global().Start();
+  Stopwatch watch;
+  for (std::int64_t i = 0; i < ops; ++i) {
+    obs::TraceSpan span("bench.obs.span");
+    span.SetItems(i);
+  }
+  const double seconds = watch.Seconds();
+  obs::TraceRecorder::Global().Stop();
+  obs::SetEnabled(false);
+  return seconds * 1e9 / static_cast<double>(ops);
+}
+
+int RunJsonMode() {
+  const OverheadResult overhead = MeasureOverhead();
+  const double counter_enabled_ns = CounterAddNsPerOp(true);
+  const double counter_disabled_ns = CounterAddNsPerOp(false);
+  const double histogram_ns = HistogramRecordNsPerOp();
+  const double span_ns = TraceSpanNsPerOp();
+
+  std::vector<benchjson::Record> records;
+  {
+    benchjson::Record record;
+    record.Str("name", "obs_overhead")
+        .Str("workload", "distance_matrix")
+        .Int("lists", static_cast<long long>(kLists))
+        .Int("n", static_cast<long long>(kDomain))
+        .Int("reps", kReps)
+        .Num("seconds_baseline", overhead.baseline_seconds)
+        .Num("seconds_enabled", overhead.enabled_seconds)
+        .Num("overhead_pct", overhead.OverheadPct())
+        .Bool("compiled_out", kCompiledOut)
+        .Bool("gate_eligible", true);
+    records.push_back(record);
+  }
+  const struct {
+    const char* name;
+    const char* mode;
+    double ns;
+  } primitives[] = {
+      {"counter_add", "enabled", counter_enabled_ns},
+      {"counter_add", "runtime_disabled", counter_disabled_ns},
+      {"histogram_record", "enabled", histogram_ns},
+      {"trace_span", "recording", span_ns},
+  };
+  for (const auto& primitive : primitives) {
+    benchjson::Record record;
+    record.Str("name", primitive.name)
+        .Str("mode", primitive.mode)
+        .Num("ns_per_op", primitive.ns)
+        .Bool("compiled_out", kCompiledOut)
+        .Bool("gate_eligible", false);
+    records.push_back(record);
+  }
+
+  // Instrumented pass for the metrics block (the overhead runs left the
+  // registry populated; reset for a deterministic single-pass snapshot).
+  obs::Registry::Global().ResetAll();
+  obs::SetEnabled(true);
+  {
+    const std::vector<BucketOrder> lists = MakeLists(16, 200);
+    const std::vector<std::vector<double>> matrix =
+        DistanceMatrix(MetricKind::kKprof, lists);
+    if (matrix.empty()) return 1;
+  }
+  obs::SetEnabled(false);
+
+  benchjson::WriteDocument(stdout, "bench_obs", records,
+                           obs::MetricsJsonObject());
+  return 0;
+}
+
+void RunHumanMode() {
+  std::printf("=== src/obs instrumentation overhead (%s build) ===\n",
+              kCompiledOut ? "RANKTIES_OBS_DISABLED" : "instrumented");
+  const OverheadResult overhead = MeasureOverhead();
+  std::printf("\nDistanceMatrix(Kprof, m=%zu, n=%zu), best of %d reps:\n",
+              kLists, kDomain, kReps);
+  std::printf("  collection off : %.6f s\n", overhead.baseline_seconds);
+  std::printf("  collection on  : %.6f s (counters + trace recording)\n",
+              overhead.enabled_seconds);
+  std::printf("  overhead       : %+.3f%%  (target < 2%%)\n",
+              overhead.OverheadPct());
+  std::printf("\nprimitives (ns/op):\n");
+  std::printf("  Counter::Add enabled           : %8.2f\n",
+              CounterAddNsPerOp(true));
+  std::printf("  Counter::Add runtime-disabled  : %8.2f\n",
+              CounterAddNsPerOp(false));
+  std::printf("  Histogram::Record enabled      : %8.2f\n",
+              HistogramRecordNsPerOp());
+  std::printf("  TraceSpan while recording      : %8.2f\n",
+              TraceSpanNsPerOp());
+}
+
+}  // namespace
+}  // namespace rankties
+
+int main(int argc, char** argv) {
+  if (rankties::benchjson::HasFlag(argc, argv, "--json")) {
+    return rankties::RunJsonMode();
+  }
+  rankties::RunHumanMode();
+  return 0;
+}

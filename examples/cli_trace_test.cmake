@@ -1,0 +1,42 @@
+# End-to-end observability: rank_tool --trace + --metrics must emit a valid
+# rankties-trace-v1 document whose spans cover the thread pool, the batch
+# engine, and at least one access engine. --threads 3 forces the pool's
+# non-serial path (single-core CI would otherwise run everything inline and
+# emit no threadpool.parallel_for spans).
+execute_process(COMMAND ${RANK_TOOL} gen 12 5 0.6 4
+                OUTPUT_FILE ${WORK_DIR}/trace_voters.txt RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed")
+endif()
+execute_process(COMMAND ${RANK_TOOL} --threads 3
+                  --trace=${WORK_DIR}/trace.json --metrics
+                  agg ${WORK_DIR}/trace_voters.txt 3
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "median full ranking")
+  message(FATAL_ERROR "traced agg failed: ${out}")
+endif()
+# --metrics prints the counter snapshot after the command output.
+if(NOT out MATCHES "\"counters\"" OR NOT out MATCHES "access.medrank.runs")
+  message(FATAL_ERROR "--metrics output missing counters: ${out}")
+endif()
+file(READ ${WORK_DIR}/trace.json trace)
+if(NOT trace MATCHES "\"schema\": \"rankties-trace-v1\"")
+  message(FATAL_ERROR "trace schema missing: ${trace}")
+endif()
+foreach(span_name
+        "threadpool.parallel_for" "batch.distances_to_all"
+        "access.medrank_topk")
+  if(NOT trace MATCHES "\"name\": \"${span_name}\"")
+    message(FATAL_ERROR "trace missing span '${span_name}': ${trace}")
+  endif()
+endforeach()
+if(NOT trace MATCHES "\"dropped_spans\": 0")
+  message(FATAL_ERROR "trace reports dropped spans: ${trace}")
+endif()
+# A bad trace path must fail cleanly, not crash.
+execute_process(COMMAND ${RANK_TOOL} --trace=/nonexistent_dir/trace.json
+                  agg ${WORK_DIR}/trace_voters.txt
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--trace to an unwritable path should fail")
+endif()

@@ -2,10 +2,14 @@
 // paper's machinery can be driven from shell scripts without writing C++.
 //
 // Usage:
-//   rank_tool [--threads N] <command> ...
+//   rank_tool [--threads N] [--trace=<file>] [--metrics] <command> ...
 //
 //   --threads N sets the worker count for the batch metric engine (dist and
 //   agg use it); it overrides the RANKTIES_THREADS environment variable.
+//   --trace=<file> records trace spans during the command and writes a
+//   rankties-trace-v1 JSON document (see docs/OBSERVABILITY.md) to <file>.
+//   --metrics enables metric collection and prints the counter/histogram
+//   snapshot as one JSON object on stdout after the command output.
 //
 //   rank_tool dist <file>              pairwise distance matrices (all four
 //                                      metrics) over the bucket orders in
@@ -89,6 +93,19 @@ int CmdAgg(const std::string& path, int k) {
                                     MedianPolicy::kLower);
     if (!topk.ok()) return Fail(topk.status().ToString());
     std::printf("median top-%d      : %s\n", k, topk->ToString().c_str());
+  }
+  if (k > 0) {
+    auto medrank = MedrankTopK(*orders, static_cast<std::size_t>(k));
+    if (!medrank.ok()) return Fail(medrank.status().ToString());
+    std::string winners;
+    for (ElementId w : medrank->winners) {
+      winners += (winners.empty() ? "" : " ") + std::to_string(w);
+    }
+    std::printf(
+        "medrank top-%d     : [%s] (%lld sorted accesses, depth %lld)\n",
+        k, winners.c_str(),
+                static_cast<long long>(medrank->total_accesses),
+                static_cast<long long>(medrank->depth));
   }
   auto scores = MedianRankScoresQuad(*orders, MedianPolicy::kLower);
   auto fdagger = OptimalBucketing(*scores);
@@ -191,30 +208,13 @@ int CmdQuery(const std::string& csv_path, const std::string& schema_spec,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  // Peel off the global --threads flag before command dispatch.
-  int arg = 1;
-  while (arg < argc && argv[arg][0] == '-') {
-    const std::string flag = argv[arg];
-    if (flag == "--threads") {
-      if (arg + 1 >= argc) return Fail("--threads needs a worker count");
-      const std::size_t threads = ThreadPool::ParseThreadsSpec(argv[arg + 1]);
-      if (threads == 0) {
-        return Fail("invalid --threads value '" + std::string(argv[arg + 1]) +
-                    "'");
-      }
-      ThreadPool::SetGlobalThreads(threads);
-      arg += 2;
-    } else {
-      return Fail("unknown flag '" + flag + "'");
-    }
-  }
-  argc -= arg - 1;
-  argv += arg - 1;
+namespace {
+
+int Dispatch(int argc, char** argv) {
   if (argc < 2) {
     return Fail(
-        "usage: rank_tool [--threads N] dist|agg|gen|query ... (see file "
-        "header)");
+        "usage: rank_tool [--threads N] [--trace=<file>] [--metrics] "
+        "dist|agg|gen|query ... (see file header)");
   }
   const std::string cmd = argv[1];
   if (cmd == "dist") {
@@ -233,4 +233,52 @@ int main(int argc, char** argv) {
     return CmdQuery(argv[2], argv[3], argv[4]);
   }
   return Fail("unknown command '" + cmd + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off the global flags before command dispatch.
+  std::string trace_path;
+  bool print_metrics = false;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    const std::string flag = argv[arg];
+    if (flag == "--threads") {
+      if (arg + 1 >= argc) return Fail("--threads needs a worker count");
+      const std::size_t threads = ThreadPool::ParseThreadsSpec(argv[arg + 1]);
+      if (threads == 0) {
+        return Fail("invalid --threads value '" + std::string(argv[arg + 1]) +
+                    "'");
+      }
+      ThreadPool::SetGlobalThreads(threads);
+      arg += 2;
+    } else if (flag.rfind("--trace=", 0) == 0) {
+      trace_path = flag.substr(8);
+      if (trace_path.empty()) return Fail("--trace needs a file path");
+      arg += 1;
+    } else if (flag == "--metrics") {
+      print_metrics = true;
+      arg += 1;
+    } else {
+      return Fail("unknown flag '" + flag + "'");
+    }
+  }
+  if (!trace_path.empty() || print_metrics) {
+    obs::SetEnabled(true);
+    if (!trace_path.empty()) obs::TraceRecorder::Global().Start();
+  }
+
+  const int rc = Dispatch(argc - (arg - 1), argv + (arg - 1));
+
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::Global().Stop();
+    if (!obs::WriteTraceJson(trace_path)) {
+      return Fail("cannot write trace to '" + trace_path + "'");
+    }
+  }
+  if (print_metrics) {
+    std::printf("%s\n", obs::MetricsJsonObject().c_str());
+  }
+  return rc;
 }

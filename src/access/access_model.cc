@@ -1,5 +1,7 @@
 #include "access/access_model.h"
 
+#include "obs/obs.h"
+
 namespace rankties {
 
 BucketOrderSource::BucketOrderSource(const BucketOrder& order)
@@ -15,6 +17,7 @@ std::optional<SortedAccess> BucketOrderSource::Next() {
     ++bucket_;
   }
   ++accesses_;
+  RANKTIES_OBS_COUNT("access.sorted_accesses", 1);
   return access;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace rankties {
 
 BidirectionalCursor::BidirectionalCursor(const std::vector<double>& values,
@@ -78,6 +80,7 @@ void BidirectionalCursor::BuildSchedule(const std::vector<double>& values,
 std::optional<SortedAccess> BidirectionalCursor::Next() {
   if (cursor_ >= schedule_.size()) return std::nullopt;
   ++accesses_;
+  RANKTIES_OBS_COUNT("access.bidirectional.sorted_accesses", 1);
   return schedule_[cursor_++];
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace rankties {
 
 std::int64_t AccessDepth(const BucketOrder& order, ElementId e) {
@@ -19,6 +21,7 @@ std::int64_t AccessDepth(const BucketOrder& order, ElementId e) {
 
 std::int64_t CertificateLowerBound(const std::vector<BucketOrder>& inputs,
                                    const std::vector<ElementId>& winners) {
+  RANKTIES_OBS_COUNT("access.lower_bound.evaluations", 1);
   const std::size_t m = inputs.size();
   if (m == 0 || winners.empty()) return 0;
   const std::size_t majority = m / 2 + 1;

@@ -1,5 +1,7 @@
 #include "access/medrank_engine.h"
 
+#include "obs/obs.h"
+
 namespace rankties {
 
 StatusOr<MedrankResult> MedrankTopK(
@@ -19,6 +21,9 @@ StatusOr<MedrankResult> MedrankTopK(
   MedrankResult result;
   result.accesses_per_list.assign(m, 0);
   if (k == 0) return result;
+
+  obs::TraceSpan span("access.medrank_topk");
+  RANKTIES_OBS_COUNT("access.medrank.runs", 1);
 
   std::vector<std::int32_t> seen_count(n, 0);
   std::vector<bool> won(n, false);
@@ -42,6 +47,9 @@ StatusOr<MedrankResult> MedrankTopK(
     }
   }
   for (std::int64_t a : result.accesses_per_list) result.total_accesses += a;
+  span.SetItems(result.total_accesses);
+  RANKTIES_OBS_COUNT("access.medrank.sorted_accesses", result.total_accesses);
+  RANKTIES_OBS_RECORD("access.medrank.depth", result.depth);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "access/medrank_stream.h"
 
+#include "obs/obs.h"
+
 namespace rankties {
 
 MedrankStream::MedrankStream(
@@ -7,6 +9,10 @@ MedrankStream::MedrankStream(
     : sources_(std::move(sources)) {}
 
 std::optional<ElementId> MedrankStream::NextWinner() {
+  // Counter delta = accesses performed by this call alone; the running
+  // total stays in total_accesses_ for callers that want the cumulative.
+  const std::int64_t accesses_before = total_accesses_;
+  obs::TraceSpan span("access.medrank_stream.next_winner");
   if (!initialized_) {
     initialized_ = true;
     if (sources_.empty()) {
@@ -44,11 +50,17 @@ std::optional<ElementId> MedrankStream::NextWinner() {
         // continues where it stopped.
         next_list_ = (i + 1) % sources_.size();
         winners_.push_back(access->element);
+        span.SetItems(total_accesses_ - accesses_before);
+        RANKTIES_OBS_COUNT("access.medrank_stream.sorted_accesses",
+                           total_accesses_ - accesses_before);
         return access->element;
       }
     }
     if (!any_alive) exhausted_ = true;
   }
+  span.SetItems(total_accesses_ - accesses_before);
+  RANKTIES_OBS_COUNT("access.medrank_stream.sorted_accesses",
+                     total_accesses_ - accesses_before);
   return std::nullopt;
 }
 

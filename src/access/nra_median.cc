@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace rankties {
 
 namespace {
@@ -29,6 +31,9 @@ StatusOr<NraMedianResult> NraMedianTopK(
   NraMedianResult result;
   result.accesses_per_list.assign(m, 0);
   if (k == 0) return result;
+
+  obs::TraceSpan span("access.nra_median");
+  RANKTIES_OBS_COUNT("access.nra.runs", 1);
 
   // seen[e * m + i] = e's doubled position in list i, or -1 if unseen.
   std::vector<std::int64_t> seen(n * m, -1);
@@ -125,6 +130,22 @@ StatusOr<NraMedianResult> NraMedianTopK(
     }
   }
   for (std::int64_t a : result.accesses_per_list) result.total_accesses += a;
+  // Access-cost accounting (docs/OBSERVABILITY.md): NRA performs sorted
+  // accesses only; candidates counts elements partially seen at stop time.
+  span.SetItems(result.total_accesses);
+  if (obs::Enabled()) {
+    RANKTIES_OBS_COUNT("access.nra.sorted_accesses", result.total_accesses);
+    std::int64_t candidates = 0;
+    for (std::size_t e = 0; e < n; ++e) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (seen[e * m + i] >= 0) {
+          ++candidates;
+          break;
+        }
+      }
+    }
+    RANKTIES_OBS_RECORD("access.nra.candidates", candidates);
+  }
   if (result.top.empty()) {
     return Status::Internal("NRA failed to certify after exhaustion");
   }

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "access/access_model.h"
+#include "obs/obs.h"
 
 namespace rankties {
 
@@ -22,6 +23,9 @@ StatusOr<TaMedianResult> TaMedianTopK(const std::vector<BucketOrder>& inputs,
 
   TaMedianResult result;
   if (k == 0) return result;
+
+  obs::TraceSpan span("access.ta_median");
+  RANKTIES_OBS_COUNT("access.ta.runs", 1);
 
   std::vector<BucketOrderSource> sources;
   sources.reserve(m);
@@ -90,6 +94,18 @@ StatusOr<TaMedianResult> TaMedianTopK(const std::vector<BucketOrder>& inputs,
     } else if (!any_alive) {
       done = true;  // everything seen; heap holds the exact top-k
     }
+  }
+
+  // Access-cost accounting (docs/OBSERVABILITY.md): the counters mirror
+  // the result fields so instrumented runs expose Section 6's cost measure
+  // without threading the result through the caller.
+  span.SetItems(result.sorted_accesses + result.random_accesses);
+  if (obs::Enabled()) {
+    RANKTIES_OBS_COUNT("access.ta.sorted_accesses", result.sorted_accesses);
+    RANKTIES_OBS_COUNT("access.ta.random_accesses", result.random_accesses);
+    std::int64_t candidates = 0;
+    for (std::size_t e = 0; e < n; ++e) candidates += scored[e] ? 1 : 0;
+    RANKTIES_OBS_RECORD("access.ta.candidates", candidates);
   }
 
   // Drain the heap, best last -> reverse.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace rankties {
@@ -13,6 +14,14 @@ namespace {
 std::size_t AutoGrain(std::size_t items) {
   const std::size_t lanes = ThreadPool::GlobalThreads();
   return std::max<std::size_t>(1, items / (32 * lanes));
+}
+
+// Per-shard wall time of the batch loops; together with the `items`
+// attribute on the enclosing span this yields items/sec per stage.
+obs::Histogram* ShardTimeHistogram() {
+  static obs::Histogram* const histogram =
+      obs::GetHistogram("batch.shard_ns");
+  return histogram;
 }
 
 }  // namespace
@@ -30,7 +39,12 @@ std::vector<std::vector<double>> DistanceMatrix(
     offset[i + 1] = offset[i] + (m - 1 - i);
   }
   const std::size_t pairs = offset[m];
+  obs::TraceSpan span("batch.distance_matrix");
+  span.SetItems(static_cast<std::int64_t>(pairs));
+  RANKTIES_OBS_COUNT("batch.metric_evals",
+                     static_cast<std::int64_t>(pairs));
   ParallelFor(0, pairs, AutoGrain(pairs), [&](std::size_t lo, std::size_t hi) {
+    obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
     // Locate the row of the first pair in the chunk, then walk forward.
     std::size_t i = static_cast<std::size_t>(
                         std::upper_bound(offset.begin(), offset.end(), lo) -
@@ -51,8 +65,13 @@ std::vector<double> DistancesToAll(MetricKind kind,
                                    const BucketOrder& candidate,
                                    const std::vector<BucketOrder>& lists) {
   std::vector<double> distances(lists.size(), 0.0);
+  obs::TraceSpan span("batch.distances_to_all");
+  span.SetItems(static_cast<std::int64_t>(lists.size()));
+  RANKTIES_OBS_COUNT("batch.metric_evals",
+                     static_cast<std::int64_t>(lists.size()));
   ParallelFor(0, lists.size(), AutoGrain(lists.size()),
               [&](std::size_t lo, std::size_t hi) {
+                obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
                 for (std::size_t j = lo; j < hi; ++j) {
                   distances[j] = ComputeMetric(kind, candidate, lists[j]);
                 }
@@ -82,8 +101,12 @@ StatusOr<BestCandidateResult> BestOfCandidates(
   // Flat candidate x list grid so parallelism scales with c*l even when one
   // side is small (one candidate, many lists — or the reverse).
   std::vector<double> grid(c * l, 0.0);
+  obs::TraceSpan span("batch.best_of_candidates");
+  span.SetItems(static_cast<std::int64_t>(c * l));
+  RANKTIES_OBS_COUNT("batch.metric_evals", static_cast<std::int64_t>(c * l));
   ParallelFor(0, c * l, AutoGrain(c * l),
               [&](std::size_t lo, std::size_t hi) {
+                obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
                 for (std::size_t t = lo; t < hi; ++t) {
                   grid[t] = ComputeMetric(kind, candidates[t / l],
                                           lists[t % l]);

@@ -1,0 +1,138 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rankties {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& raw) {
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void AppendInt(std::string& out, std::int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  out += buffer;
+}
+
+void AppendNum(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out += buffer;
+}
+
+void AppendMetricsObject(std::string& out) {
+  const std::vector<CounterSnapshot> counters =
+      Registry::Global().CounterSnapshots();
+  const std::vector<HistogramSnapshot> histograms =
+      Registry::Global().HistogramSnapshots();
+  out += "{\"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    AppendEscaped(out, counters[i].name);
+    out += "\": ";
+    AppendInt(out, counters[i].value);
+  }
+  out += "}, \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i) out += ", ";
+    out += "\"";
+    AppendEscaped(out, h.name);
+    out += "\": {\"count\": ";
+    AppendInt(out, h.count);
+    out += ", \"sum\": ";
+    AppendInt(out, h.sum);
+    out += ", \"mean\": ";
+    AppendNum(out, h.Mean());
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "[";
+      AppendInt(out, Histogram::BucketUpperEdge(b));
+      out += ", ";
+      AppendInt(out, h.buckets[b]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string MetricsJsonObject() {
+  std::string out;
+  AppendMetricsObject(out);
+  return out;
+}
+
+std::string TraceJsonDocument() {
+  const TraceRecorder& recorder = TraceRecorder::Global();
+  const std::vector<SpanRecord> spans = recorder.Snapshot();
+  std::string out;
+  out.reserve(128 + spans.size() * 96);
+  out += "{\"schema\": \"rankties-trace-v1\", \"clock\": \"steady_ns\", ";
+  out += "\"dropped_spans\": ";
+  AppendInt(out, recorder.dropped());
+  out += ", \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i) out += ", ";
+    out += "\n  {\"id\": ";
+    AppendInt(out, static_cast<std::int64_t>(span.id));
+    out += ", \"parent\": ";
+    AppendInt(out, static_cast<std::int64_t>(span.parent));
+    out += ", \"name\": \"";
+    AppendEscaped(out, span.name);
+    out += "\", \"thread\": ";
+    AppendInt(out, static_cast<std::int64_t>(span.thread));
+    out += ", \"start_ns\": ";
+    AppendInt(out, span.start_ns);
+    out += ", \"dur_ns\": ";
+    AppendInt(out, span.duration_ns);
+    if (span.items >= 0) {
+      out += ", \"items\": ";
+      AppendInt(out, span.items);
+    }
+    out += "}";
+  }
+  out += "],\n \"metrics\": ";
+  AppendMetricsObject(out);
+  out += "}\n";
+  return out;
+}
+
+bool WriteTraceJson(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const std::string document = TraceJsonDocument();
+  const std::size_t written =
+      std::fwrite(document.data(), 1, document.size(), out);
+  const bool ok = written == document.size() && std::fclose(out) == 0;
+  if (!ok && written != document.size()) std::fclose(out);
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace rankties

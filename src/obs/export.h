@@ -1,0 +1,45 @@
+#ifndef RANKTIES_OBS_EXPORT_H_
+#define RANKTIES_OBS_EXPORT_H_
+
+/// \file
+/// Structured JSON export of the obs subsystem: the `rankties-trace-v1`
+/// document (spans + a metrics snapshot) and the bare metrics object the
+/// bench harnesses embed in their rankties-bench-v2 output.
+///
+/// rankties-trace-v1 shape:
+///   {"schema": "rankties-trace-v1",
+///    "clock": "steady_ns",
+///    "dropped_spans": 0,
+///    "spans": [{"id": 1, "parent": 0, "name": "...", "thread": 0,
+///               "start_ns": ..., "dur_ns": ..., "items": ...}, ...],
+///    "metrics": {"counters": {"name": value, ...},
+///                "histograms": {"name": {"count": c, "sum": s,
+///                                        "mean": m,
+///                                        "buckets": [[upper, count],
+///                                                    ...]}, ...}}}
+/// `items` is omitted when unset; histogram `buckets` lists only non-empty
+/// buckets as [inclusive upper edge, count] pairs. Consumers must ignore
+/// unknown keys (the v1 contract), so fields can be added without a bump.
+///
+/// With RANKTIES_OBS_DISABLED both exports stay valid JSON with empty
+/// spans/metrics, keeping `rank_tool --trace` functional in every build.
+
+#include <string>
+
+namespace rankties {
+namespace obs {
+
+/// The `{"counters": ..., "histograms": ...}` object for the current
+/// Registry contents.
+std::string MetricsJsonObject();
+
+/// The full rankties-trace-v1 document for the recorder + Registry.
+std::string TraceJsonDocument();
+
+/// Writes TraceJsonDocument() to `path`. Returns false on I/O failure.
+bool WriteTraceJson(const std::string& path);
+
+}  // namespace obs
+}  // namespace rankties
+
+#endif  // RANKTIES_OBS_EXPORT_H_

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+namespace rankties {
+namespace obs {
+
+#ifndef RANKTIES_OBS_DISABLED
+
+namespace {
+
+// Innermost open span on this thread; parent link for new spans.
+thread_local std::uint64_t t_current_span = 0;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked on purpose: see the class comment.
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  recording_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() {
+  recording_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::uint32_t TraceRecorder::ThreadIndex() {
+  thread_local const std::uint32_t index =
+      next_thread_.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void TraceRecorder::Append(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(record);
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.recording()) return;
+  active_ = true;
+  record_.id = recorder.NextId();
+  record_.parent = t_current_span;
+  record_.name = name;
+  record_.thread = recorder.ThreadIndex();
+  record_.start_ns = timer_.mark_nanos();
+  saved_parent_ = t_current_span;
+  t_current_span = record_.id;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  record_.duration_ns = timer_.SplitNanos();
+  t_current_span = saved_parent_;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (recorder.recording()) recorder.Append(record_);
+}
+
+#else  // RANKTIES_OBS_DISABLED
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace rankties

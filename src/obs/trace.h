@@ -1,0 +1,139 @@
+#ifndef RANKTIES_OBS_TRACE_H_
+#define RANKTIES_OBS_TRACE_H_
+
+/// \file
+/// Scoped RAII trace spans feeding a thread-safe in-process recorder.
+///
+/// A span brackets one logical stage (a ParallelFor, a batch-matrix build,
+/// one access-engine run). Spans nest per thread — the recorder keeps the
+/// parent link so the exported trace reconstructs the call tree — and carry
+/// an optional `items` payload (pairs computed, accesses performed) so
+/// items/sec falls out of the trace directly.
+///
+/// Recording is off by default. TraceSpan's constructor checks one relaxed
+/// atomic and becomes inert when recording is off; when on, the span reads
+/// the monotonic clock twice (via util/stopwatch.h's SplitTimer) and takes
+/// the recorder mutex once, at destruction, to append its record. Spans are
+/// therefore meant for stage granularity, not per-element loops.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace rankties {
+namespace obs {
+
+/// One completed span.
+struct SpanRecord {
+  std::uint64_t id = 0;      ///< unique, process-wide, 1-based
+  std::uint64_t parent = 0;  ///< enclosing span on the same thread; 0 = root
+  const char* name = "";     ///< static string supplied at the span site
+  std::uint32_t thread = 0;  ///< recorder-assigned dense thread index
+  std::int64_t start_ns = 0;  ///< MonotonicNanos() at entry
+  std::int64_t duration_ns = 0;
+  std::int64_t items = -1;  ///< optional payload size; -1 = unset
+};
+
+#ifndef RANKTIES_OBS_DISABLED
+
+/// Thread-safe in-process recorder; spans from every thread land in one
+/// buffer (bounded — see kMaxSpans — so a tracing run can never exhaust
+/// memory; overflow is counted and reported in the export).
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kMaxSpans = 1u << 20;
+
+  /// The singleton. Leaked on purpose, like the metric Registry, so spans
+  /// closing during static destruction stay safe.
+  static TraceRecorder& Global();
+
+  /// Clears the buffer and starts recording.
+  void Start();
+  /// Stops recording; the buffer stays readable until the next Start().
+  void Stop();
+  bool recording() const {
+    return recording_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the recorded spans, in completion order.
+  std::vector<SpanRecord> Snapshot() const;
+  /// Spans recorded so far.
+  std::size_t size() const;
+  /// Spans dropped after the buffer filled.
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Process-wide unique span id.
+  std::uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Dense index for the calling thread (stable across its lifetime).
+  std::uint32_t ThreadIndex();
+
+  void Append(const SpanRecord& record);
+
+ private:
+  TraceRecorder() = default;
+
+  std::atomic<bool> recording_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint32_t> next_thread_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  // guarded by mu_
+};
+
+/// RAII span: records [construction, destruction) under `name`, which must
+/// be a string with static storage duration (a literal).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a payload size (pairs computed, accesses performed, ...).
+  void SetItems(std::int64_t items) { record_.items = items; }
+
+ private:
+  SpanRecord record_;
+  SplitTimer timer_;
+  std::uint64_t saved_parent_ = 0;
+  bool active_ = false;
+};
+
+#else  // RANKTIES_OBS_DISABLED
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kMaxSpans = 0;
+  static TraceRecorder& Global();
+  void Start() {}
+  void Stop() {}
+  bool recording() const { return false; }
+  std::vector<SpanRecord> Snapshot() const { return {}; }
+  std::size_t size() const { return 0; }
+  std::int64_t dropped() const { return 0; }
+  void Clear() {}
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  void SetItems(std::int64_t) {}
+};
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace rankties
+
+#endif  // RANKTIES_OBS_TRACE_H_

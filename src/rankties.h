@@ -62,6 +62,7 @@
 #include "gen/mallows.h"
 #include "gen/random_orders.h"
 #include "gen/zipf.h"
+#include "obs/obs.h"
 #include "rank/active_domain.h"
 #include "rank/bucket_order.h"
 #include "rank/conversions.h"

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/obs.h"
+#include "util/stopwatch.h"
+
 namespace rankties {
 
 namespace {
@@ -39,6 +42,7 @@ void ThreadPool::RunChunks(LoopState& state) {
     const std::size_t lo =
         state.cursor.fetch_add(state.grain, std::memory_order_relaxed);
     if (lo >= state.end) return;
+    RANKTIES_OBS_COUNT("threadpool.chunks_run", 1);
     const std::size_t hi = std::min(lo + state.grain, state.end);
     try {
       (*state.body)(lo, hi);
@@ -55,8 +59,15 @@ void ThreadPool::WorkerMain() {
   for (;;) {
     std::shared_ptr<LoopState> state;
     {
+      // Idle accounting: the wait below is the worker's only blocking
+      // point, so its duration is exactly the lane's idle time.
+      const std::int64_t idle_from = obs::Enabled() ? MonotonicNanos() : 0;
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (idle_from != 0) {
+        RANKTIES_OBS_COUNT("threadpool.worker_idle_ns",
+                           MonotonicNanos() - idle_from);
+      }
       if (queue_.empty()) return;  // stop_ with a drained queue
       state = std::move(queue_.front());
       queue_.pop_front();
@@ -76,9 +87,14 @@ void ThreadPool::ParallelFor(
   const std::size_t g = std::max<std::size_t>(1, grain);
   const std::size_t chunks = (end - begin + g - 1) / g;
   if (workers_.empty() || chunks <= 1 || t_in_pool_worker) {
+    RANKTIES_OBS_COUNT("threadpool.inline_runs", 1);
     body(begin, end);
     return;
   }
+
+  obs::TraceSpan span("threadpool.parallel_for");
+  span.SetItems(static_cast<std::int64_t>(end - begin));
+  RANKTIES_OBS_COUNT("threadpool.parallel_for_calls", 1);
 
   auto state = std::make_shared<LoopState>();
   state->end = end;
@@ -90,6 +106,8 @@ void ThreadPool::ParallelFor(
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(state);
+    RANKTIES_OBS_RECORD("threadpool.queue_depth",
+                        static_cast<std::int64_t>(queue_.size()));
   }
   if (helpers == 1) {
     cv_.notify_one();

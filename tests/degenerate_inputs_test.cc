@@ -9,10 +9,15 @@
 #include <cmath>
 #include <vector>
 
+#include "access/medrank_engine.h"
+#include "access/nra_median.h"
+#include "access/ta_median.h"
+#include "core/batch_engine.h"
 #include "core/footrule.h"
 #include "core/hausdorff.h"
 #include "core/metric_registry.h"
 #include "core/profile_metrics.h"
+#include "obs/obs.h"
 #include "rank/bucket_order.h"
 #include "rank/permutation.h"
 #include "ref/ref_metrics.h"
@@ -68,6 +73,35 @@ TEST(DegenerateInputsTest, AllTiedBucketIsIdentity) {
     const BucketOrder tied = BucketOrder::SingleBucket(n);
     ExpectAllMetricsZero(tied, tied);
   }
+}
+
+// Degenerate inputs through the *instrumented* paths: collection and
+// tracing on, so the obs hooks in the access engines and batch engine see
+// n = 1, k = 0, and all-tied inputs without asserting or emitting garbage.
+TEST(DegenerateInputsTest, InstrumentedEnginesSurviveDegenerateInputs) {
+  obs::SetEnabled(true);
+  obs::TraceRecorder::Global().Start();
+
+  const std::vector<BucketOrder> singles = {BucketOrder::SingleBucket(1),
+                                            BucketOrder::SingleBucket(1)};
+  EXPECT_TRUE(TaMedianTopK(singles, 1).ok());
+  EXPECT_TRUE(NraMedianTopK(singles, 1).ok());
+  EXPECT_TRUE(MedrankTopK(singles, 1).ok());
+  // k = 0 returns before the instrumented region; still must be clean.
+  EXPECT_TRUE(TaMedianTopK(singles, 0).ok());
+
+  const std::vector<BucketOrder> tied = {BucketOrder::SingleBucket(5),
+                                         BucketOrder::SingleBucket(5),
+                                         BucketOrder::SingleBucket(5)};
+  const auto matrix = DistanceMatrix(MetricKind::kKprof, tied);
+  for (const auto& row : matrix) {
+    for (const double d : row) EXPECT_EQ(d, 0.0);
+  }
+
+  obs::TraceRecorder::Global().Stop();
+  const std::string doc = obs::TraceJsonDocument();
+  EXPECT_NE(doc.find("rankties-trace-v1"), std::string::npos);
+  obs::SetEnabled(false);
 }
 
 TEST(DegenerateInputsTest, GuardsDoNotOvertrigger) {

@@ -9,6 +9,10 @@
 // configurable: --seed-base=<s> / --cases=<n> / --failure-file=<path>, or
 // the environment equivalents RANKTIES_FUZZ_SEED_BASE /
 // RANKTIES_FUZZ_CASES / RANKTIES_FUZZ_FAILURE_FILE.
+//
+// --obs (or RANKTIES_OBS=1) turns metric collection and trace recording on
+// for the whole sweep, so the fuzz workload also exercises the src/obs
+// instrumentation in the engines under test (a CI shard runs this way).
 
 #include <gtest/gtest.h>
 
@@ -27,6 +31,7 @@
 #include "fuzz/differential.h"
 #include "fuzz/fuzz_corpus.h"
 #include "gen/random_orders.h"
+#include "obs/obs.h"
 #include "rank/refinement.h"
 #include "util/rng.h"
 
@@ -38,6 +43,7 @@ struct FuzzFlags {
   std::int64_t cases = 1500;
   std::optional<std::uint64_t> single_seed;
   std::string failure_file;
+  bool obs = false;
 };
 
 FuzzFlags& Flags() {
@@ -253,6 +259,9 @@ void ParseFuzzFlags(int argc, char** argv) {
   if (const char* env = std::getenv("RANKTIES_FUZZ_FAILURE_FILE")) {
     flags.failure_file = env;
   }
+  if (const char* env = std::getenv("RANKTIES_OBS")) {
+    flags.obs = env[0] != '\0' && env[0] != '0';
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--seed=", 7) == 0) {
@@ -263,6 +272,8 @@ void ParseFuzzFlags(int argc, char** argv) {
       flags.cases = static_cast<std::int64_t>(ParseU64(arg + 8));
     } else if (std::strncmp(arg, "--failure-file=", 15) == 0) {
       flags.failure_file = arg + 15;
+    } else if (std::strcmp(arg, "--obs") == 0) {
+      flags.obs = true;
     }
   }
 }
@@ -272,5 +283,18 @@ void ParseFuzzFlags(int argc, char** argv) {
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   ParseFuzzFlags(argc, argv);
-  return RUN_ALL_TESTS();
+  if (rankties::fuzz::Flags().obs) {
+    rankties::obs::SetEnabled(true);
+    rankties::obs::TraceRecorder::Global().Start();
+    std::fprintf(stderr, "fuzz: obs collection + tracing enabled\n");
+  }
+  const int rc = RUN_ALL_TESTS();
+  if (rankties::fuzz::Flags().obs) {
+    rankties::obs::TraceRecorder::Global().Stop();
+    std::fprintf(stderr, "fuzz: %lld spans recorded, counters:\n%s\n",
+                 static_cast<long long>(
+                     rankties::obs::TraceRecorder::Global().size()),
+                 rankties::obs::MetricsJsonObject().c_str());
+  }
+  return rc;
 }
