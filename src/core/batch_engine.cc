@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/hausdorff.h"
+#include "core/prepared.h"
 #include "obs/obs.h"
 #include "util/thread_pool.h"
 
@@ -24,9 +26,134 @@ obs::Histogram* ShardTimeHistogram() {
   return histogram;
 }
 
+// Wall time of the prepare-once pass (all inputs of one batch call).
+obs::Histogram* PrepareTimeHistogram() {
+  static obs::Histogram* const histogram =
+      obs::GetHistogram("batch.prepare_ns");
+  return histogram;
+}
+
+// One scratch per pool thread, reused across tiles, batch calls, and metric
+// kinds: after the first few evaluations grow it to the workload's
+// high-water mark, every later kernel call is allocation-free.
+PairScratch& ThreadScratch() {
+  static thread_local PairScratch scratch;
+  return scratch;
+}
+
+// Freezes every input once (O(m*n) total, parallel over inputs).
+std::vector<PreparedRanking> PrepareAll(
+    const std::vector<BucketOrder>& lists) {
+  obs::ScopedHistogramTimer prepare_timer(PrepareTimeHistogram());
+  std::vector<PreparedRanking> prepared(lists.size());
+  ParallelFor(0, lists.size(), AutoGrain(lists.size()),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  prepared[i] = PreparedRanking(lists[i]);
+                }
+              });
+  return prepared;
+}
+
+// One metric evaluation on prepared inputs. FHaus has no prepared kernel
+// (the Theorem 5 construction materializes refinements), so it uses the
+// legacy BucketOrder pair; the prepared kinds never touch the heap on a
+// warm scratch. Argument order matches the legacy ComputeMetric call sites
+// exactly, keeping results bit-identical by construction.
+double EvalPrepared(MetricKind kind, const PreparedRanking& prepared_sigma,
+                    const PreparedRanking& prepared_tau,
+                    const BucketOrder& sigma, const BucketOrder& tau,
+                    PairScratch& scratch) {
+  switch (kind) {
+    case MetricKind::kKprof:
+      return Kprof(prepared_sigma, prepared_tau, scratch);
+    case MetricKind::kFprof:
+      return Fprof(prepared_sigma, prepared_tau);
+    case MetricKind::kKHaus:
+      return static_cast<double>(
+          KHausdorff(prepared_sigma, prepared_tau, scratch));
+    case MetricKind::kFHaus:
+      return FHausdorff(sigma, tau);
+  }
+  return 0.0;  // unreachable; keeps -Wreturn-type quiet
+}
+
+// Tile edge for the triangular tiling of DistanceMatrix. A TxT tile reads
+// at most 2T preparations, so T = 32 keeps the per-lane working set a few
+// hundred KiB even at n ~ 10^4; shrink T while the tile count undercuts
+// ~4 tiles per lane so small matrices still spread across the pool. Tile
+// shape never affects values (each slot is computed independently), only
+// locality and load balance.
+std::size_t TileSizeFor(std::size_t m) {
+  const std::size_t lanes = ThreadPool::GlobalThreads();
+  std::size_t tile = 32;
+  while (tile > 4) {
+    const std::size_t rows = (m + tile - 1) / tile;
+    if (rows * (rows + 1) / 2 >= 4 * lanes) break;
+    tile /= 2;
+  }
+  return tile;
+}
+
 }  // namespace
 
 std::vector<std::vector<double>> DistanceMatrix(
+    MetricKind kind, const std::vector<BucketOrder>& lists) {
+  const std::size_t m = lists.size();
+  std::vector<std::vector<double>> matrix(m, std::vector<double>(m, 0.0));
+  if (m < 2) return matrix;
+
+  const std::size_t pairs = m * (m - 1) / 2;
+  obs::TraceSpan span("batch.distance_matrix");
+  span.SetItems(static_cast<std::int64_t>(pairs));
+  RANKTIES_OBS_COUNT("batch.metric_evals",
+                     static_cast<std::int64_t>(pairs));
+
+  const std::vector<PreparedRanking> prepared = PrepareAll(lists);
+
+  // Triangular tiles (a, b), a <= b, over tile rows of edge `tile`; tile
+  // (a, a) covers its within-block upper triangle. Every upper-triangle
+  // slot belongs to exactly one tile, so parallel writes never collide.
+  const std::size_t tile = TileSizeFor(m);
+  const std::size_t rows = (m + tile - 1) / tile;
+  // Row-major offsets into the flattened tile list: row a holds rows - a
+  // tiles (b = a .. rows-1).
+  std::vector<std::size_t> tile_offset(rows + 1, 0);
+  for (std::size_t a = 0; a < rows; ++a) {
+    tile_offset[a + 1] = tile_offset[a] + (rows - a);
+  }
+  const std::size_t tiles = tile_offset[rows];
+  RANKTIES_OBS_COUNT("batch.tiles", static_cast<std::int64_t>(tiles));
+
+  ParallelFor(0, tiles, 1, [&](std::size_t lo, std::size_t hi) {
+    obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
+    PairScratch& scratch = ThreadScratch();
+    // Locate the tile row of the first tile in the chunk, then walk.
+    std::size_t a =
+        static_cast<std::size_t>(std::upper_bound(tile_offset.begin(),
+                                                  tile_offset.end(), lo) -
+                                 tile_offset.begin()) -
+        1;
+    for (std::size_t t = lo; t < hi; ++t) {
+      while (t >= tile_offset[a + 1]) ++a;
+      const std::size_t b = a + (t - tile_offset[a]);
+      const std::size_t i_end = std::min(a * tile + tile, m);
+      const std::size_t j_begin = b * tile;
+      const std::size_t j_end = std::min(j_begin + tile, m);
+      for (std::size_t i = a * tile; i < i_end; ++i) {
+        for (std::size_t j = std::max(j_begin, i + 1); j < j_end; ++j) {
+          const double d = EvalPrepared(kind, prepared[i], prepared[j],
+                                        lists[i], lists[j], scratch);
+          matrix[i][j] = d;
+          matrix[j][i] = d;
+        }
+      }
+    }
+  });
+  return matrix;
+}
+
+std::vector<std::vector<double>> DistanceMatrixUnprepared(
     MetricKind kind, const std::vector<BucketOrder>& lists) {
   const std::size_t m = lists.size();
   std::vector<std::vector<double>> matrix(m, std::vector<double>(m, 0.0));
@@ -39,7 +166,7 @@ std::vector<std::vector<double>> DistanceMatrix(
     offset[i + 1] = offset[i] + (m - 1 - i);
   }
   const std::size_t pairs = offset[m];
-  obs::TraceSpan span("batch.distance_matrix");
+  obs::TraceSpan span("batch.distance_matrix_unprepared");
   span.SetItems(static_cast<std::int64_t>(pairs));
   RANKTIES_OBS_COUNT("batch.metric_evals",
                      static_cast<std::int64_t>(pairs));
@@ -65,15 +192,21 @@ std::vector<double> DistancesToAll(MetricKind kind,
                                    const BucketOrder& candidate,
                                    const std::vector<BucketOrder>& lists) {
   std::vector<double> distances(lists.size(), 0.0);
+  if (lists.empty()) return distances;
   obs::TraceSpan span("batch.distances_to_all");
   span.SetItems(static_cast<std::int64_t>(lists.size()));
   RANKTIES_OBS_COUNT("batch.metric_evals",
                      static_cast<std::int64_t>(lists.size()));
+  const PreparedRanking prepared_candidate(candidate);
+  const std::vector<PreparedRanking> prepared = PrepareAll(lists);
   ParallelFor(0, lists.size(), AutoGrain(lists.size()),
               [&](std::size_t lo, std::size_t hi) {
                 obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
+                PairScratch& scratch = ThreadScratch();
                 for (std::size_t j = lo; j < hi; ++j) {
-                  distances[j] = ComputeMetric(kind, candidate, lists[j]);
+                  distances[j] =
+                      EvalPrepared(kind, prepared_candidate, prepared[j],
+                                   candidate, lists[j], scratch);
                 }
               });
   return distances;
@@ -104,12 +237,19 @@ StatusOr<BestCandidateResult> BestOfCandidates(
   obs::TraceSpan span("batch.best_of_candidates");
   span.SetItems(static_cast<std::int64_t>(c * l));
   RANKTIES_OBS_COUNT("batch.metric_evals", static_cast<std::int64_t>(c * l));
+  const std::vector<PreparedRanking> prepared_candidates =
+      PrepareAll(candidates);
+  const std::vector<PreparedRanking> prepared_lists = PrepareAll(lists);
   ParallelFor(0, c * l, AutoGrain(c * l),
               [&](std::size_t lo, std::size_t hi) {
                 obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
+                PairScratch& scratch = ThreadScratch();
                 for (std::size_t t = lo; t < hi; ++t) {
-                  grid[t] = ComputeMetric(kind, candidates[t / l],
-                                          lists[t % l]);
+                  const std::size_t ci = t / l;
+                  const std::size_t j = t % l;
+                  grid[t] = EvalPrepared(kind, prepared_candidates[ci],
+                                         prepared_lists[j], candidates[ci],
+                                         lists[j], scratch);
                 }
               });
 

@@ -13,17 +13,35 @@ namespace rankties {
 /// Batch metric evaluation over many rankings at once, parallelized on the
 /// global ThreadPool (util/thread_pool.h).
 ///
+/// Prepared engine: every batch entry point freezes its inputs once into
+/// PreparedRankings (core/prepared.h) — O(m*n) total — and then runs the
+/// zero-allocation prepared kernels with one reusable PairScratch per pool
+/// thread, instead of paying the legacy per-pair hash-map/sort/Fenwick heap
+/// traffic O(m^2) times. FHaus has no prepared form (its Theorem 5
+/// refinement construction is inherently allocating) and falls back to the
+/// legacy kernel per pair.
+///
 /// Determinism guarantee: every function here returns results bit-identical
 /// to the corresponding serial ComputeMetric loop, for every thread count.
-/// Parallel tasks only compute independent matrix/vector slots; every
-/// floating-point reduction (totals, argmin) runs serially in index order on
-/// the calling thread. Thread count therefore never changes an answer —
-/// only how fast it arrives.
+/// The prepared kernels are integer-exact and share their post-processing
+/// with the legacy path, parallel tasks only compute independent
+/// matrix/vector slots, and every floating-point reduction (totals, argmin)
+/// runs serially in index order on the calling thread. Thread count and
+/// tile shape therefore never change an answer — only how fast it arrives.
 
 /// The m x m matrix D with D[i][j] = ComputeMetric(kind, lists[i],
 /// lists[j]). Symmetric with a zero diagonal; each upper-triangle entry is
-/// computed once, in parallel, and mirrored.
+/// computed once and mirrored. Work is scheduled as cache-sized triangular
+/// tiles over the prepared inputs, so a pool lane keeps a small working set
+/// of preparations hot while the tile count still load-balances the pool.
 std::vector<std::vector<double>> DistanceMatrix(
+    MetricKind kind, const std::vector<BucketOrder>& lists);
+
+/// The same matrix via the legacy per-pair ComputeMetric path (no
+/// preparation, per-pair allocations). Kept callable as the differential
+/// oracle for the prepared engine (tests/fuzz) and as the bench_pairwise
+/// baseline. Same determinism guarantee.
+std::vector<std::vector<double>> DistanceMatrixUnprepared(
     MetricKind kind, const std::vector<BucketOrder>& lists);
 
 /// distances[j] = ComputeMetric(kind, candidate, lists[j]) — the inner loop

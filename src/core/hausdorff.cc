@@ -36,7 +36,10 @@ Theorem5Pairs BuildTheorem5Pairs(const BucketOrder& sigma,
 
 std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
   if (sigma.n() < 2) return 0;  // no pairs on a degenerate universe
-  const PairCounts counts = ComputePairCounts(sigma, tau);
+  return KHausdorffFromCounts(ComputePairCounts(sigma, tau));
+}
+
+std::int64_t KHausdorffFromCounts(const PairCounts& counts) {
   return counts.discordant +
          std::max(counts.tied_sigma_only, counts.tied_tau_only);
 }

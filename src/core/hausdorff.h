@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/pair_counts.h"
 #include "rank/bucket_order.h"
 
 namespace rankties {
@@ -14,6 +15,11 @@ namespace rankties {
 /// All Hausdorff entry points return 0 on degenerate universes (n < 2)
 /// without touching the construction or counting machinery.
 std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau);
+
+/// Proposition 6 on precomputed pair counts; O(1). Shared by the legacy
+/// BucketOrder path above and the prepared kernels (core/prepared.h), so
+/// the two paths are bit-identical by construction.
+std::int64_t KHausdorffFromCounts(const PairCounts& counts);
 
 /// KHaus via the Theorem 5 characterization: constructs the two candidate
 /// refinement pairs (rho*tauR*sigma, rho*sigma*tau) and

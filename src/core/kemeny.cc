@@ -29,14 +29,17 @@ std::vector<std::vector<std::int64_t>> PairwisePreferenceCostsTwice(
   ParallelFor(0, n, RowGrain(n, inputs.size()),
               [&](std::size_t lo, std::size_t hi) {
     for (std::size_t a = lo; a < hi; ++a) {
+      const ElementId ea = static_cast<ElementId>(a);
       for (const BucketOrder& input : inputs) {
+        // Hoist a's bucket out of the inner loop: the Ahead/Tied pair
+        // collapses to one lookup and one three-way comparison per b.
+        const BucketIndex ba = input.BucketOf(ea);
         for (std::size_t b = 0; b < n; ++b) {
           if (a == b) continue;
-          const ElementId ea = static_cast<ElementId>(a);
-          const ElementId eb = static_cast<ElementId>(b);
-          if (input.Ahead(eb, ea)) {
+          const BucketIndex bb = input.BucketOf(static_cast<ElementId>(b));
+          if (bb < ba) {
             w[a][b] += 2;  // ranking a ahead of b contradicts this input
-          } else if (input.Tied(ea, eb)) {
+          } else if (bb == ba) {
             w[a][b] += static_cast<std::int64_t>(std::llround(2.0 * p));
           }
         }
@@ -74,10 +77,11 @@ StatusOr<KemenyPartialResult> ExactKemenyPartial(
   ParallelFor(0, n, RowGrain(n, inputs.size()),
               [&](std::size_t lo, std::size_t hi) {
     for (std::size_t a = lo; a < hi; ++a) {
+      const ElementId ea = static_cast<ElementId>(a);
       for (const BucketOrder& input : inputs) {
+        const BucketIndex ba = input.BucketOf(ea);  // hoisted from inner loop
         for (std::size_t b = 0; b < n; ++b) {
-          if (a != b && !input.Tied(static_cast<ElementId>(a),
-                                    static_cast<ElementId>(b))) {
+          if (a != b && input.BucketOf(static_cast<ElementId>(b)) != ba) {
             t2[a][b] += two_p;
           }
         }

@@ -6,15 +6,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/checked_math.h"
 #include "util/fenwick.h"
 
 namespace rankties {
-
-namespace {
-
-std::int64_t Choose2(std::int64_t k) { return k * (k - 1) / 2; }
-
-}  // namespace
 
 PairCounts ComputePairCounts(const BucketOrder& sigma, const BucketOrder& tau) {
   assert(sigma.n() == tau.n());
@@ -35,16 +30,17 @@ PairCounts ComputePairCounts(const BucketOrder& sigma, const BucketOrder& tau) {
         tau.BucketOf(static_cast<ElementId>(e));
     ++joint[key];
   }
-  for (const auto& [key, size] : joint) counts.tied_both += Choose2(size);
+  for (const auto& [key, size] : joint) counts.tied_both += CheckedChoose2(size);
 
   std::int64_t tied_sigma_pairs = 0;  // pairs tied in sigma (incl. tied_both)
   for (std::size_t b = 0; b < sigma.num_buckets(); ++b) {
     tied_sigma_pairs +=
-        Choose2(static_cast<std::int64_t>(sigma.bucket(b).size()));
+        CheckedChoose2(static_cast<std::int64_t>(sigma.bucket(b).size()));
   }
   std::int64_t tied_tau_pairs = 0;
   for (std::size_t b = 0; b < tau.num_buckets(); ++b) {
-    tied_tau_pairs += Choose2(static_cast<std::int64_t>(tau.bucket(b).size()));
+    tied_tau_pairs +=
+        CheckedChoose2(static_cast<std::int64_t>(tau.bucket(b).size()));
   }
   counts.tied_sigma_only = tied_sigma_pairs - counts.tied_both;
   counts.tied_tau_only = tied_tau_pairs - counts.tied_both;
@@ -79,7 +75,7 @@ PairCounts ComputePairCounts(const BucketOrder& sigma, const BucketOrder& tau) {
     i = j;
   }
 
-  counts.concordant = Choose2(static_cast<std::int64_t>(n)) -
+  counts.concordant = CheckedChoose2(static_cast<std::int64_t>(n)) -
                       counts.discordant - counts.tied_sigma_only -
                       counts.tied_tau_only - counts.tied_both;
   return counts;

@@ -1,0 +1,260 @@
+#include "core/prepared.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "core/hausdorff.h"
+#include "core/profile_metrics.h"
+#include "obs/obs.h"
+#include "util/checked_math.h"
+
+namespace rankties {
+
+namespace {
+
+// Fenwick primitives on a raw scratch vector (slot 0 unused) so the hot
+// loop never constructs a tree object. `tree` must have at least size+1
+// zeroed slots; indices are 0-based bucket indices.
+inline void FenwickAdd(std::vector<std::int64_t>& tree, std::size_t size,
+                       std::size_t index, std::int64_t delta) {
+  for (std::size_t i = index + 1; i <= size; i += i & (~i + 1)) {
+    tree[i] += delta;
+  }
+}
+
+inline std::int64_t FenwickPrefix(const std::vector<std::int64_t>& tree,
+                                  std::size_t index) {
+  std::int64_t sum = 0;
+  for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) sum += tree[i];
+  return sum;
+}
+
+// The flat joint histogram pays one pass over all t_sigma * t_tau cells, so
+// it is worth it while the key space stays a small multiple of n (the cell
+// scan is sequential — far cheaper per op than the fallback's sort) and its
+// memory stays bounded; beyond the cap the sort-and-run-count fallback wins
+// and keeps scratch memory O(n) instead of O(t_sigma * t_tau).
+inline bool UseFlatJoint(std::size_t n, std::size_t product) {
+  constexpr std::size_t kMaxFlatCells = std::size_t{1} << 20;  // 8 MiB
+  return product <= std::max<std::size_t>(
+                        64, std::min(32 * n, kMaxFlatCells));
+}
+
+}  // namespace
+
+PreparedRanking::PreparedRanking(const BucketOrder& order) {
+  const std::size_t n = order.n();
+  const std::size_t t = order.num_buckets();
+  bucket_of_.resize(n);
+  by_bucket_.resize(n);
+  bucket_offset_.resize(t + 1);
+  twice_pos_.resize(n);
+  // One pass over the partition: the by-bucket concatenation *is* the
+  // counting-sorted element order the legacy engine re-derives per pair.
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < t; ++b) {
+    bucket_offset_[b] = cursor;
+    const std::vector<ElementId>& bucket = order.bucket(b);
+    const std::int64_t twice_pos = order.TwicePositionOfBucket(b);
+    tied_pairs_ = CheckedAdd(
+        tied_pairs_, CheckedChoose2(static_cast<std::int64_t>(bucket.size())));
+    for (const ElementId e : bucket) {
+      bucket_of_[static_cast<std::size_t>(e)] = static_cast<BucketIndex>(b);
+      twice_pos_[static_cast<std::size_t>(e)] = twice_pos;
+      by_bucket_[cursor++] = e;
+    }
+  }
+  bucket_offset_[t] = cursor;
+}
+
+void PairScratch::Reserve(std::size_t n, std::size_t buckets) {
+  if (fenwick_.size() < buckets + 1) fenwick_.resize(buckets + 1, 0);
+  const std::size_t product = buckets * buckets;
+  if (UseFlatJoint(n, product) && joint_counts_.size() < product) {
+    joint_counts_.resize(product, 0);
+  }
+  if (joint_keys_.capacity() < n) joint_keys_.reserve(n);
+}
+
+PairCounts ComputePairCounts(const PreparedRanking& sigma,
+                             const PreparedRanking& tau,
+                             PairScratch& scratch) {
+  assert(sigma.n() == tau.n());
+  const std::size_t n = sigma.n();
+  PairCounts counts;
+  if (n < 2) return counts;
+
+  const std::size_t t_sigma = sigma.num_buckets();
+  const std::size_t t_tau = tau.num_buckets();
+  const std::vector<BucketIndex>& sigma_of = sigma.bucket_of();
+  const std::vector<BucketIndex>& tau_of = tau.bucket_of();
+
+  // --- tied_both and discordant in one joint-histogram pass (flat mode). ---
+  bool scratch_grew = false;
+  const std::size_t product = t_sigma * t_tau;
+  if (UseFlatJoint(n, product)) {
+    // Build the flat (sigma bucket, tau bucket) histogram, then walk its
+    // rows in sigma-bucket order keeping P[t] = elements of earlier sigma
+    // buckets with tau bucket <= t. A cell (s, t) with count c contributes
+    // choose2(c) tied-both pairs and c * (inserted - P[t]) discordant pairs
+    // — the same per-element sums the legacy Fenwick accumulates, batched
+    // per cell, with no per-element tree walks and no sort. Cells are
+    // re-zeroed as they are consumed, so the buffer never needs a bulk
+    // clear (entries are zero outside a call, by invariant).
+    if (scratch.joint_counts_.size() < product) {
+      scratch.joint_counts_.resize(product, 0);
+      scratch_grew = true;
+    }
+    if (scratch.fenwick_.size() < t_tau + 1) {
+      scratch.fenwick_.resize(t_tau + 1);
+      scratch_grew = true;
+    }
+    for (std::size_t e = 0; e < n; ++e) {
+      const std::size_t key =
+          static_cast<std::size_t>(sigma_of[e]) * t_tau +
+          static_cast<std::size_t>(tau_of[e]);
+      ++scratch.joint_counts_[key];
+    }
+    std::int64_t* const prefix = scratch.fenwick_.data();  // plain array here
+    std::fill(prefix, prefix + t_tau, 0);
+    std::int64_t inserted = 0;
+    for (std::size_t s = 0; s < t_sigma; ++s) {
+      std::int64_t* const row = scratch.joint_counts_.data() + s * t_tau;
+      std::int64_t running = 0;
+      for (std::size_t t = 0; t < t_tau; ++t) {
+        const std::int64_t c = row[t];
+        if (c != 0) {
+          counts.tied_both += CheckedChoose2(c);
+          counts.discordant += c * (inserted - prefix[t]);
+          row[t] = 0;
+        }
+        running += c;
+        prefix[t] += running;
+      }
+      inserted += running;
+    }
+    counts.tied_sigma_only = sigma.tied_pairs() - counts.tied_both;
+    counts.tied_tau_only = tau.tied_pairs() - counts.tied_both;
+    counts.concordant = CheckedChoose2(static_cast<std::int64_t>(n)) -
+                        counts.discordant - counts.tied_sigma_only -
+                        counts.tied_tau_only - counts.tied_both;
+    if (scratch_grew) {
+      RANKTIES_OBS_COUNT("prepared.scratch_grows", 1);
+    } else {
+      RANKTIES_OBS_COUNT("prepared.scratch_reuse_hits", 1);
+    }
+    return counts;
+  }
+  {
+    // Key space too large for a flat buffer: sort the n joint keys in place
+    // (reused capacity, no heap traffic) and count runs.
+    if (scratch.joint_keys_.capacity() < n) {
+      scratch.joint_keys_.reserve(n);
+      scratch_grew = true;
+    }
+    scratch.joint_keys_.resize(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      scratch.joint_keys_[e] = static_cast<std::int64_t>(sigma_of[e]) *
+                                   static_cast<std::int64_t>(t_tau) +
+                               tau_of[e];
+    }
+    std::sort(scratch.joint_keys_.begin(), scratch.joint_keys_.end());
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && scratch.joint_keys_[j] == scratch.joint_keys_[i]) ++j;
+      counts.tied_both += CheckedChoose2(static_cast<std::int64_t>(j - i));
+      i = j;
+    }
+  }
+  counts.tied_sigma_only = sigma.tied_pairs() - counts.tied_both;
+  counts.tied_tau_only = tau.tied_pairs() - counts.tied_both;
+
+  // --- Discordant pairs: Fenwick inversion count over tau buckets, walking
+  // sigma's frozen by-bucket order (same visit order as the legacy sort, so
+  // the arithmetic is identical). Same-sigma-bucket elements are all queried
+  // before any is inserted, so sigma-ties never count.
+  if (scratch.fenwick_.size() < t_tau + 1) {
+    scratch.fenwick_.resize(t_tau + 1);
+    scratch_grew = true;
+  }
+  // Clear the active prefix unconditionally: resize() zero-fills only the
+  // slots it appends, and slots below that still hold the previous call's
+  // tree.
+  std::fill(scratch.fenwick_.begin(),
+            scratch.fenwick_.begin() + static_cast<std::ptrdiff_t>(t_tau + 1),
+            0);
+  const std::vector<ElementId>& by_bucket = sigma.by_bucket();
+  const std::vector<std::size_t>& offset = sigma.bucket_offset();
+  std::int64_t inserted = 0;
+  for (std::size_t b = 0; b < t_sigma; ++b) {
+    const std::size_t lo = offset[b];
+    const std::size_t hi = offset[b + 1];
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t tb =
+          static_cast<std::size_t>(tau_of[static_cast<std::size_t>(
+              by_bucket[k])]);
+      counts.discordant += inserted - FenwickPrefix(scratch.fenwick_, tb);
+    }
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t tb =
+          static_cast<std::size_t>(tau_of[static_cast<std::size_t>(
+              by_bucket[k])]);
+      FenwickAdd(scratch.fenwick_, t_tau, tb, 1);
+      ++inserted;
+    }
+  }
+
+  counts.concordant = CheckedChoose2(static_cast<std::int64_t>(n)) -
+                      counts.discordant - counts.tied_sigma_only -
+                      counts.tied_tau_only - counts.tied_both;
+  if (scratch_grew) {
+    RANKTIES_OBS_COUNT("prepared.scratch_grows", 1);
+  } else {
+    RANKTIES_OBS_COUNT("prepared.scratch_reuse_hits", 1);
+  }
+  return counts;
+}
+
+std::int64_t TwiceKprof(const PreparedRanking& sigma,
+                        const PreparedRanking& tau, PairScratch& scratch) {
+  if (sigma.n() < 2) return 0;  // no pairs on a degenerate universe
+  return TwiceKprofFromCounts(ComputePairCounts(sigma, tau, scratch));
+}
+
+double Kprof(const PreparedRanking& sigma, const PreparedRanking& tau,
+             PairScratch& scratch) {
+  return static_cast<double>(TwiceKprof(sigma, tau, scratch)) / 2.0;
+}
+
+double KendallP(const PreparedRanking& sigma, const PreparedRanking& tau,
+                double p, PairScratch& scratch) {
+  assert(p >= 0.0 && p <= 1.0);
+  if (sigma.n() < 2) return 0.0;  // no pairs on a degenerate universe
+  return KendallPFromCounts(ComputePairCounts(sigma, tau, scratch), p);
+}
+
+std::int64_t KHausdorff(const PreparedRanking& sigma,
+                        const PreparedRanking& tau, PairScratch& scratch) {
+  if (sigma.n() < 2) return 0;  // no pairs on a degenerate universe
+  return KHausdorffFromCounts(ComputePairCounts(sigma, tau, scratch));
+}
+
+std::int64_t TwiceFprof(const PreparedRanking& sigma,
+                        const PreparedRanking& tau) {
+  assert(sigma.n() == tau.n());
+  const std::vector<std::int64_t>& a = sigma.twice_position();
+  const std::vector<std::int64_t>& b = tau.twice_position();
+  std::int64_t total = 0;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    total += std::abs(a[e] - b[e]);
+  }
+  return total;
+}
+
+double Fprof(const PreparedRanking& sigma, const PreparedRanking& tau) {
+  return static_cast<double>(TwiceFprof(sigma, tau)) / 2.0;
+}
+
+}  // namespace rankties

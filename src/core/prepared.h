@@ -1,0 +1,153 @@
+#ifndef RANKTIES_CORE_PREPARED_H_
+#define RANKTIES_CORE_PREPARED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pair_counts.h"
+#include "rank/bucket_order.h"
+#include "rank/element.h"
+
+namespace rankties {
+
+/// The prepared-ranking layer: allocation-free Kendall-family kernels.
+///
+/// Every legacy ComputePairCounts call pays per-call heap traffic — an
+/// unordered_map joint histogram, a freshly allocated element vector sorted
+/// with a comparison lambda, and a new Fenwick tree — even though each
+/// ranking's bucket structure never changes. All-pairs workloads
+/// (DistanceMatrix, Kemeny score grids, MEDRANK validation) repeat that
+/// cost O(m^2) times.
+///
+/// `PreparedRanking` freezes a BucketOrder once, in O(n), into dense flat
+/// arrays; the kernels below then classify the pairs of two prepared
+/// rankings using only a caller-owned `PairScratch`, performing **zero heap
+/// allocations** once the scratch has grown to the workload's high-water
+/// mark (asserted by tests/prepared_test.cc with an operator-new counting
+/// hook). The kernels are bit-identical to the legacy BucketOrder paths:
+/// both funnel through the same FromCounts post-processing
+/// (TwiceKprofFromCounts, KHausdorffFromCounts, KendallPFromCounts) on
+/// exact integer counts, and the fuzz harness cross-checks them
+/// pair-for-pair across every adversarial family.
+
+/// An immutable O(n) freeze of a BucketOrder. Snapshot semantics: the
+/// prepared form owns its arrays and stays valid after the source
+/// BucketOrder is destroyed.
+class PreparedRanking {
+ public:
+  /// An empty-domain prepared ranking (n = 0).
+  PreparedRanking() = default;
+
+  /// Freezes `order`: one pass over its buckets, no comparison sort.
+  explicit PreparedRanking(const BucketOrder& order);
+
+  std::size_t n() const { return bucket_of_.size(); }
+  std::size_t num_buckets() const { return bucket_offset_.size() - 1; }
+
+  /// Number of unordered pairs tied in this ranking
+  /// (sum over buckets of |B| choose 2), precomputed at freeze time.
+  std::int64_t tied_pairs() const { return tied_pairs_; }
+
+  /// bucket_of()[e] = index of e's bucket (dense, element-indexed).
+  const std::vector<BucketIndex>& bucket_of() const { return bucket_of_; }
+
+  /// Elements counting-sorted by bucket, front bucket first — replaces the
+  /// per-pair std::sort of the legacy engine.
+  const std::vector<ElementId>& by_bucket() const { return by_bucket_; }
+
+  /// bucket_offset()[b] .. bucket_offset()[b+1] delimit bucket b inside
+  /// by_bucket(); size num_buckets()+1.
+  const std::vector<std::size_t>& bucket_offset() const {
+    return bucket_offset_;
+  }
+
+  /// twice_position()[e] = 2*sigma(e) (exact doubled position, paper §2) —
+  /// the Fprof fast path reads the two flat vectors directly.
+  const std::vector<std::int64_t>& twice_position() const {
+    return twice_pos_;
+  }
+
+ private:
+  std::vector<BucketIndex> bucket_of_;      // element -> bucket
+  std::vector<ElementId> by_bucket_;        // elements grouped by bucket
+  std::vector<std::size_t> bucket_offset_{0};  // bucket -> by_bucket_ range
+  std::vector<std::int64_t> twice_pos_;     // element -> 2*pos
+  std::int64_t tied_pairs_ = 0;
+};
+
+/// Reusable per-thread workspace for the prepared kernels. Buffers only
+/// ever grow (to the largest n / bucket count seen), so a warm scratch
+/// makes every subsequent kernel call allocation-free regardless of how
+/// the inputs' sizes vary call to call. Not thread-safe: one scratch per
+/// thread (core/batch_engine keeps one per pool lane).
+class PairScratch {
+ public:
+  PairScratch() = default;
+
+  PairScratch(const PairScratch&) = delete;
+  PairScratch& operator=(const PairScratch&) = delete;
+
+  /// Grows all buffers to the high-water mark for rankings with up to `n`
+  /// elements and `buckets` buckets per side, so that subsequent kernel
+  /// calls within those bounds allocate nothing. Optional — the kernels
+  /// grow the scratch on demand.
+  void Reserve(std::size_t n, std::size_t buckets);
+
+ private:
+  friend PairCounts ComputePairCounts(const PreparedRanking& sigma,
+                                      const PreparedRanking& tau,
+                                      PairScratch& scratch);
+
+  // Per-tau-bucket accumulator: a plain prefix array in flat-histogram
+  // mode, a Fenwick tree (slot 0 unused) in the sorted fallback.
+  std::vector<std::int64_t> fenwick_;
+  // Flat joint histogram, indexed sigma_bucket * t_tau + tau_bucket; cells
+  // are re-zeroed as the row scan consumes them, so all entries are zero
+  // outside a call.
+  std::vector<std::int64_t> joint_counts_;
+  // Fallback buffer for the sort-and-run-count joint histogram used when
+  // t_sigma * t_tau is large relative to n.
+  std::vector<std::int64_t> joint_keys_;
+};
+
+/// Pair classification on two prepared rankings — the same five counts as
+/// ComputePairCounts(BucketOrder, BucketOrder), bit-for-bit, with zero heap
+/// allocations on a warm scratch. t_sigma*t_tau-aware: when the joint key
+/// space is a small multiple of n, one flat-histogram row scan yields
+/// tied_both and discordant together in O(n + t_sigma*t_tau) — no sort, no
+/// Fenwick; otherwise it falls back to sort-and-run-count on the scratch
+/// key buffer plus a Fenwick sweep, O(n log n). Requires
+/// sigma.n() == tau.n().
+PairCounts ComputePairCounts(const PreparedRanking& sigma,
+                             const PreparedRanking& tau, PairScratch& scratch);
+
+/// 2*Kprof on prepared rankings (paper §3.1); zero-allocation on a warm
+/// scratch, bit-identical to TwiceKprof(BucketOrder, BucketOrder).
+std::int64_t TwiceKprof(const PreparedRanking& sigma,
+                        const PreparedRanking& tau, PairScratch& scratch);
+
+/// Kprof as a double, matching Kprof(BucketOrder, BucketOrder) exactly.
+double Kprof(const PreparedRanking& sigma, const PreparedRanking& tau,
+             PairScratch& scratch);
+
+/// K^(p) on prepared rankings, bit-identical to the legacy KendallP.
+double KendallP(const PreparedRanking& sigma, const PreparedRanking& tau,
+                double p, PairScratch& scratch);
+
+/// KHaus via Proposition 6 on prepared rankings; zero-allocation on a warm
+/// scratch, bit-identical to KHausdorff(BucketOrder, BucketOrder).
+std::int64_t KHausdorff(const PreparedRanking& sigma,
+                        const PreparedRanking& tau, PairScratch& scratch);
+
+/// 2*Fprof as a straight L1 walk over the two frozen doubled-position
+/// vectors; allocation-free (needs no scratch), bit-identical to
+/// TwiceFprof(BucketOrder, BucketOrder).
+std::int64_t TwiceFprof(const PreparedRanking& sigma,
+                        const PreparedRanking& tau);
+
+/// Fprof as a double, matching Fprof(BucketOrder, BucketOrder) exactly.
+double Fprof(const PreparedRanking& sigma, const PreparedRanking& tau);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_CORE_PREPARED_H_

@@ -22,7 +22,10 @@ double KendallP(const BucketOrder& sigma, const BucketOrder& tau, double p) {
 
 std::int64_t TwiceKprof(const BucketOrder& sigma, const BucketOrder& tau) {
   if (sigma.n() < 2) return 0;  // no pairs on a degenerate universe
-  const PairCounts counts = ComputePairCounts(sigma, tau);
+  return TwiceKprofFromCounts(ComputePairCounts(sigma, tau));
+}
+
+std::int64_t TwiceKprofFromCounts(const PairCounts& counts) {
   return 2 * counts.discordant + counts.tied_sigma_only +
          counts.tied_tau_only;
 }
@@ -34,16 +37,17 @@ double Kprof(const BucketOrder& sigma, const BucketOrder& tau) {
 std::vector<std::int8_t> KProfileQuarters(const BucketOrder& sigma) {
   const std::size_t n = sigma.n();
   std::vector<std::int8_t> profile;
-  profile.reserve(n * (n - 1));
+  if (n < 2) return profile;
+  profile.reserve(n * (n - 1));  // exactly n(n-1) ordered pairs, no regrowth
   for (std::size_t i = 0; i < n; ++i) {
+    // One bucket lookup per row and one per column; the two Ahead()
+    // directions collapse to a single three-way bucket-index comparison.
+    const BucketIndex bi = sigma.BucketOf(static_cast<ElementId>(i));
     for (std::size_t j = 0; j < n; ++j) {
       if (i == j) continue;
-      const ElementId a = static_cast<ElementId>(i);
-      const ElementId b = static_cast<ElementId>(j);
-      std::int8_t entry = 0;
-      if (sigma.Ahead(a, b)) entry = 1;
-      if (sigma.Ahead(b, a)) entry = -1;
-      profile.push_back(entry);
+      const BucketIndex bj = sigma.BucketOf(static_cast<ElementId>(j));
+      profile.push_back(bi < bj ? std::int8_t{1}
+                                : (bj < bi ? std::int8_t{-1} : std::int8_t{0}));
     }
   }
   return profile;

@@ -25,14 +25,23 @@ double KendallPFromCounts(const PairCounts& counts, double p);
 /// 2*Kprof = 2*discordant + tied_sigma_only + tied_tau_only is integral.
 std::int64_t TwiceKprof(const BucketOrder& sigma, const BucketOrder& tau);
 
+/// 2*Kprof from precomputed pair counts; O(1). Shared by the legacy path
+/// above and the prepared kernels (core/prepared.h), so both paths are
+/// bit-identical by construction.
+std::int64_t TwiceKprofFromCounts(const PairCounts& counts);
+
 /// Kprof as a double.
 double Kprof(const BucketOrder& sigma, const BucketOrder& tau);
 
 /// The explicit K-profile of a partial ranking (paper §3.1): the vector over
 /// ordered pairs (i,j), i != j, with entry +1/4 if sigma(i) < sigma(j), 0 if
 /// tied, -1/4 if sigma(i) > sigma(j). Returned as quartered integers (+1, 0,
-/// -1) in row-major order over (i,j), skipping i == j. O(n^2) — intended for
-/// illustration and tests; Kprof itself never materializes this.
+/// -1) in row-major order over (i,j), skipping i == j.
+///
+/// WARNING — O(n^2) memory cliff: the dense profile holds n(n-1) bytes, so
+/// n = 2^15 already materializes ~1 GiB and n = 2^16 over 4 GiB. Intended
+/// for illustration and tests on small domains only; Kprof itself never
+/// materializes this (it is O(1) post-processing on PairCounts).
 std::vector<std::int8_t> KProfileQuarters(const BucketOrder& sigma);
 
 /// L1 distance between two K-profiles, divided by 4 to match Kprof; exact

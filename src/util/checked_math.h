@@ -51,6 +51,16 @@ inline std::int64_t CheckedMul(std::int64_t a, std::int64_t b) {
 #endif
 }
 
+/// k-choose-2 = k(k-1)/2 with the even factor divided *before* the
+/// multiplication (the overflow guard MaxKendall in core/kendall.cc
+/// documents): the checked product then only aborts when the result itself
+/// would not fit, instead of at k slightly past 2^32. Negative k counts no
+/// pairs.
+inline std::int64_t CheckedChoose2(std::int64_t k) {
+  if (k < 2) return 0;
+  return k % 2 == 0 ? CheckedMul(k / 2, k - 1) : CheckedMul(k, (k - 1) / 2);
+}
+
 /// Converts an unsigned size to int64, aborting when it does not fit.
 inline std::int64_t CheckedInt64(std::size_t value) {
   if (value > static_cast<std::uint64_t>(

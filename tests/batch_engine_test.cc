@@ -91,6 +91,28 @@ TEST_F(BatchEngineTest, DeterministicAcrossThreadCounts) {
   }
 }
 
+// Sweeps m across tile-edge boundaries (below one tile, exact multiples,
+// one past a multiple) so every tiling shape — single tile, ragged edge
+// tiles, many full tiles — is exercised against both the legacy per-pair
+// path and the serial reference.
+TEST_F(BatchEngineTest, TiledMatrixMatchesUnpreparedAcrossTileEdges) {
+  for (const std::size_t m : {2u, 3u, 5u, 17u, 33u, 65u}) {
+    const std::vector<BucketOrder> lists =
+        MakeLists(m, 12, 100 + static_cast<std::uint64_t>(m));
+    for (MetricKind kind : AllMetricKinds()) {
+      ThreadPool::SetGlobalThreads(1);
+      const auto reference = DistanceMatrixUnprepared(kind, lists);
+      EXPECT_EQ(DistanceMatrix(kind, lists), reference)
+          << MetricName(kind) << " m=" << m << " serial";
+      ThreadPool::SetGlobalThreads(7);
+      EXPECT_EQ(DistanceMatrix(kind, lists), reference)
+          << MetricName(kind) << " m=" << m << " 7 threads";
+      EXPECT_EQ(DistanceMatrixUnprepared(kind, lists), reference)
+          << MetricName(kind) << " m=" << m << " unprepared, 7 threads";
+    }
+  }
+}
+
 TEST_F(BatchEngineTest, DistancesToAllMatchesTotalDistance) {
   const std::vector<BucketOrder> lists = MakeLists(11, 20, 4);
   const BucketOrder candidate = lists[5];

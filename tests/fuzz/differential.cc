@@ -12,6 +12,7 @@
 #include "core/kendall.h"
 #include "core/metric_registry.h"
 #include "core/pair_counts.h"
+#include "core/prepared.h"
 #include "core/profile_metrics.h"
 #include "rank/refinement.h"
 #include "ref/ref_metrics.h"
@@ -94,6 +95,32 @@ void CheckDifferential(const FuzzCase& c, const DriverOptions& options,
   for (MetricKind kind : {MetricKind::kKprof, MetricKind::kFprof}) {
     ExpectEq(c, MetricName(kind), ComputeMetric(kind, sigma, tau),
              ref::ComputeMetric(kind, sigma, tau), stats);
+  }
+
+  // The zero-allocation prepared kernels agree with the legacy BucketOrder
+  // paths bit-for-bit on every family. The scratch is deliberately shared
+  // across all fuzz cases (static, one fuzz thread) so reuse across wildly
+  // varying n and bucket counts is itself under test.
+  {
+    static PairScratch scratch;
+    const PreparedRanking ps(sigma);
+    const PreparedRanking pt(tau);
+    ++stats->comparisons;
+    if (!(ComputePairCounts(ps, pt, scratch) ==
+          ComputePairCounts(sigma, tau))) {
+      Fail(c, "prepared-pair-counts",
+           "prepared and legacy pair classification disagree", stats);
+    }
+    ExpectEq(c, "prepared-Kprof", TwiceKprof(ps, pt, scratch),
+             TwiceKprof(sigma, tau), stats);
+    ExpectEq(c, "prepared-KHaus", KHausdorff(ps, pt, scratch),
+             KHausdorff(sigma, tau), stats);
+    ExpectEq(c, "prepared-Fprof", TwiceFprof(ps, pt),
+             TwiceFprof(sigma, tau), stats);
+    for (double p : kPenaltyGrid) {
+      ExpectEq(c, "prepared-KendallP", KendallP(ps, pt, p, scratch),
+               KendallP(sigma, tau, p), stats);
+    }
   }
 }
 
@@ -245,6 +272,20 @@ void CheckBatchEngine(const std::vector<BucketOrder>& lists,
                  stats);
           }
         }
+      }
+      // The legacy per-pair engine stays the prepared engine's oracle.
+      const std::vector<std::vector<double>> unprepared =
+          DistanceMatrixUnprepared(kind, lists);
+      ++stats->comparisons;
+      if (unprepared != expected) {
+        Fail(label, "batch-matrix-unprepared",
+             tag + " legacy engine diverged from the serial reference",
+             stats);
+      }
+      ++stats->comparisons;
+      if (matrix != unprepared) {
+        Fail(label, "batch-matrix-prepared-vs-unprepared",
+             tag + " prepared and legacy engines disagree", stats);
       }
       const std::vector<double> row =
           DistancesToAll(kind, lists.front(), lists);
