@@ -1,6 +1,7 @@
 #include "access/access_model.h"
 
 #include "obs/obs.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -10,6 +11,7 @@ BucketOrderSource::BucketOrderSource(const BucketOrder& order)
 std::optional<SortedAccess> BucketOrderSource::Next() {
   if (bucket_ >= order_.num_buckets()) return std::nullopt;
   const std::vector<ElementId>& bucket = order_.bucket(bucket_);
+  RANKTIES_BOUNDS(offset_, bucket.size());
   SortedAccess access{bucket[offset_], order_.TwicePositionOfBucket(bucket_)};
   ++offset_;
   if (offset_ >= bucket.size()) {

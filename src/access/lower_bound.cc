@@ -1,9 +1,9 @@
 #include "access/lower_bound.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "obs/obs.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -15,7 +15,7 @@ std::int64_t AccessDepth(const BucketOrder& order, ElementId e) {
   }
   const std::vector<ElementId>& bucket = order.bucket(b);
   const auto it = std::lower_bound(bucket.begin(), bucket.end(), e);
-  assert(it != bucket.end() && *it == e);
+  RANKTIES_DCHECK(it != bucket.end() && *it == e);
   return before + (it - bucket.begin()) + 1;
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/obs.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -114,6 +115,9 @@ StatusOr<NraMedianResult> NraMedianTopK(
       }
       any_alive = true;
       ++result.accesses_per_list[i];
+      // The lower-bound argument substitutes frontier[i] for unseen
+      // entries; that is only a lower bound if accesses never regress.
+      RANKTIES_DCHECK(access->twice_position >= frontier[i]);
       seen[static_cast<std::size_t>(access->element) * m + i] =
           access->twice_position;
       frontier[i] = access->twice_position;

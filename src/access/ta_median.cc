@@ -5,6 +5,7 @@
 
 #include "access/access_model.h"
 #include "obs/obs.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -65,6 +66,10 @@ StatusOr<TaMedianResult> TaMedianTopK(const std::vector<BucketOrder>& inputs,
       }
       any_alive = true;
       ++result.sorted_accesses;
+      // Threshold soundness rests on sorted accesses being monotone: a
+      // regressing position would let the frontier median overstate the
+      // bound and certify a wrong top-k.
+      RANKTIES_DCHECK(access->twice_position >= frontier[i]);
       frontier[i] = access->twice_position;
       const std::size_t e = static_cast<std::size_t>(access->element);
       if (!scored[e]) {

@@ -5,6 +5,8 @@
 #include "core/hausdorff.h"
 #include "core/prepared.h"
 #include "obs/obs.h"
+#include "util/checked_math.h"
+#include "util/contracts.h"
 #include "util/thread_pool.h"
 
 namespace rankties {
@@ -89,7 +91,11 @@ std::size_t TileSizeFor(std::size_t m) {
   std::size_t tile = 32;
   while (tile > 4) {
     const std::size_t rows = (m + tile - 1) / tile;
-    if (rows * (rows + 1) / 2 >= 4 * lanes) break;
+    // Tile count = (rows+1 choose 2), checked like every pair-count shape.
+    if (CheckedChoose2(CheckedAdd(CheckedInt64(rows), 1)) >=
+        CheckedInt64(4 * lanes)) {
+      break;
+    }
     tile /= 2;
   }
   return tile;
@@ -103,11 +109,10 @@ std::vector<std::vector<double>> DistanceMatrix(
   std::vector<std::vector<double>> matrix(m, std::vector<double>(m, 0.0));
   if (m < 2) return matrix;
 
-  const std::size_t pairs = m * (m - 1) / 2;
+  const std::int64_t pairs = CheckedChoose2(CheckedInt64(m));
   obs::TraceSpan span("batch.distance_matrix");
-  span.SetItems(static_cast<std::int64_t>(pairs));
-  RANKTIES_OBS_COUNT("batch.metric_evals",
-                     static_cast<std::int64_t>(pairs));
+  span.SetItems(pairs);
+  RANKTIES_OBS_COUNT("batch.metric_evals", pairs);
 
   const std::vector<PreparedRanking> prepared = PrepareAll(lists);
 
@@ -136,10 +141,16 @@ std::vector<std::vector<double>> DistanceMatrix(
         1;
     for (std::size_t t = lo; t < hi; ++t) {
       while (t >= tile_offset[a + 1]) ++a;
+      // Tile-walk contracts: the offset table must land every flat tile id
+      // inside tile row a, and the derived tile column must stay in range —
+      // otherwise two lanes could write the same matrix slot.
+      RANKTIES_DCHECK(a < rows && t >= tile_offset[a]);
       const std::size_t b = a + (t - tile_offset[a]);
+      RANKTIES_DCHECK(b >= a && b < rows);
       const std::size_t i_end = std::min(a * tile + tile, m);
       const std::size_t j_begin = b * tile;
       const std::size_t j_end = std::min(j_begin + tile, m);
+      RANKTIES_DCHECK(j_begin < m);
       for (std::size_t i = a * tile; i < i_end; ++i) {
         for (std::size_t j = std::max(j_begin, i + 1); j < j_end; ++j) {
           const double d = EvalPrepared(kind, prepared[i], prepared[j],
@@ -180,6 +191,7 @@ std::vector<std::vector<double>> DistanceMatrixUnprepared(
     for (std::size_t t = lo; t < hi; ++t) {
       while (t >= offset[i + 1]) ++i;
       const std::size_t j = i + 1 + (t - offset[i]);
+      RANKTIES_DCHECK(i < j && j < m);
       const double d = ComputeMetric(kind, lists[i], lists[j]);
       matrix[i][j] = d;
       matrix[j][i] = d;

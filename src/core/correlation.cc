@@ -1,6 +1,6 @@
 #include "core/correlation.h"
+#include "util/contracts.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace rankties {
@@ -33,7 +33,7 @@ StatusOr<double> GoodmanKruskalGamma(const BucketOrder& sigma,
 
 StatusOr<SignificanceResult> KendallSignificance(const BucketOrder& sigma,
                                                  const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const double n = static_cast<double>(sigma.n());
   if (sigma.n() < 3) {
     return Status::Undefined("significance needs n >= 3");
@@ -48,7 +48,7 @@ StatusOr<SignificanceResult> KendallSignificance(const BucketOrder& sigma,
 }
 
 StatusOr<double> SpearmanRho(const BucketOrder& sigma, const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   if (n == 0) return Status::Undefined("rho undefined on empty domain");
   double mean_s = 0, mean_t = 0;

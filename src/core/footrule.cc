@@ -1,12 +1,12 @@
 #include "core/footrule.h"
+#include "util/contracts.h"
 
-#include <cassert>
 #include <cstdlib>
 
 namespace rankties {
 
 std::int64_t Footrule(const Permutation& sigma, const Permutation& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   std::int64_t total = 0;
   for (std::size_t e = 0; e < sigma.n(); ++e) {
     total += std::abs(
@@ -21,7 +21,7 @@ std::int64_t MaxFootrule(std::size_t n) {
 }
 
 std::int64_t TwiceFprof(const BucketOrder& sigma, const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   std::int64_t total = 0;
   for (std::size_t e = 0; e < sigma.n(); ++e) {
     total += std::abs(sigma.TwicePosition(static_cast<ElementId>(e)) -

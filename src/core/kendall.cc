@@ -1,9 +1,9 @@
 #include "core/kendall.h"
 
-#include <cassert>
 #include <vector>
 
 #include "util/checked_math.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -40,7 +40,7 @@ std::int64_t CountInversions(std::vector<ElementId>& values) {
 }  // namespace
 
 std::int64_t KendallTau(const Permutation& sigma, const Permutation& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   // Walk sigma's order and collect tau ranks; inversions in that sequence
   // are exactly the discordant pairs.
@@ -52,7 +52,7 @@ std::int64_t KendallTau(const Permutation& sigma, const Permutation& tau) {
 }
 
 std::int64_t KendallTauNaive(const Permutation& sigma, const Permutation& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   std::int64_t distance = 0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,16 +1,16 @@
 #include "core/median_rank.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 #include <numeric>
 
+#include "util/contracts.h"
 #include "util/thread_pool.h"
 
 namespace rankties {
 
 std::int64_t MedianQuad(std::vector<std::int64_t> values, MedianPolicy policy) {
-  assert(!values.empty());
+  RANKTIES_DCHECK(!values.empty());
   std::sort(values.begin(), values.end());
   const std::size_t m = values.size();
   if (m % 2 == 1) return 2 * values[m / 2];
@@ -112,7 +112,7 @@ std::int64_t TotalL1ToInputsQuad(const std::vector<std::int64_t>& f_quad,
               [&](std::size_t lo, std::size_t hi) {
                 for (std::size_t i = lo; i < hi; ++i) {
                   const BucketOrder& input = inputs[i];
-                  assert(input.n() == f_quad.size());
+                  RANKTIES_DCHECK(input.n() == f_quad.size());
                   std::int64_t sum = 0;
                   for (std::size_t e = 0; e < f_quad.size(); ++e) {
                     sum += std::abs(

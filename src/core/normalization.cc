@@ -1,16 +1,18 @@
 #include "core/normalization.h"
 
+#include "util/checked_math.h"
+
 namespace rankties {
 
 double MaxMetricValue(MetricKind kind, std::size_t n) {
-  const double nn = static_cast<double>(n);
+  const std::int64_t n64 = CheckedInt64(n);
   switch (kind) {
     case MetricKind::kKprof:
     case MetricKind::kKHaus:
-      return nn * (nn - 1) / 2.0;
+      return static_cast<double>(CheckedChoose2(n64));
     case MetricKind::kFprof:
     case MetricKind::kFHaus:
-      return static_cast<double>((n * n) / 2);
+      return static_cast<double>(CheckedMul(n64, n64) / 2);
   }
   return 0.0;
 }

@@ -1,12 +1,12 @@
 #include "core/optimal_bucketing.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 #include <limits>
 #include <numeric>
 
 #include "util/combinatorics.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -61,7 +61,7 @@ BucketingResult BuildResult(const SortedScores& sorted,
     ++b;
   }
   StatusOr<BucketOrder> order = BucketOrder::FromBucketIndex(bucket_of);
-  assert(order.ok());
+  RANKTIES_DCHECK_OK(order);
   return BucketingResult{std::move(order).value(), cost_quad};
 }
 
@@ -117,9 +117,10 @@ BucketingResult SolveQuadraticSpace(const SortedScores& sorted) {
   const std::size_t n = sorted.ids.size();
   // c[i * (n+1) + j] for 0 <= i < j <= n, filled along anti-diagonals
   // s = i + j; every interval on a diagonal shares the midpoint 2(s+1).
-  std::vector<std::int64_t> c((n + 1) * (n + 1), 0);
+  const std::size_t stride = n + 1;
+  std::vector<std::int64_t> c(stride * stride, 0);
   auto at = [&](std::size_t i, std::size_t j) -> std::int64_t& {
-    return c[i * (n + 1) + j];
+    return c[i * stride + j];
   };
   for (std::size_t s = 0; s <= 2 * n - 1; ++s) {
     const std::int64_t m = 2 * static_cast<std::int64_t>(s + 1);
@@ -271,7 +272,7 @@ StatusOr<BucketingResult> OptimalBucketingBrute(
   std::vector<std::size_t> best_sizes;
   ForEachComposition(n, [&](const std::vector<std::size_t>& sizes) {
     StatusOr<std::int64_t> cost = BucketingCostQuad(quad_scores, sizes);
-    assert(cost.ok());
+    RANKTIES_DCHECK_OK(cost);
     if (*cost < best_cost) {
       best_cost = *cost;
       best_sizes = sizes;
@@ -289,7 +290,7 @@ StatusOr<BucketingResult> OptimalBucketingBrute(
     ++b;
   }
   StatusOr<BucketOrder> order = BucketOrder::FromBucketIndex(bucket_of);
-  assert(order.ok());
+  RANKTIES_DCHECK_OK(order);
   return BucketingResult{std::move(order).value(), best_cost};
 }
 

@@ -1,18 +1,18 @@
 #include "core/pair_counts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <unordered_map>
 #include <vector>
 
 #include "util/checked_math.h"
+#include "util/contracts.h"
 #include "util/fenwick.h"
 
 namespace rankties {
 
 PairCounts ComputePairCounts(const BucketOrder& sigma, const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   PairCounts counts;
   if (n < 2) return counts;
@@ -83,7 +83,7 @@ PairCounts ComputePairCounts(const BucketOrder& sigma, const BucketOrder& tau) {
 
 PairCounts ComputePairCountsNaive(const BucketOrder& sigma,
                                   const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   PairCounts counts;
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,13 +1,13 @@
 #include "core/prepared.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 
 #include "core/hausdorff.h"
 #include "core/profile_metrics.h"
 #include "obs/obs.h"
 #include "util/checked_math.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -41,9 +41,26 @@ inline bool UseFlatJoint(std::size_t n, std::size_t product) {
                         64, std::min(32 * n, kMaxFlatCells));
 }
 
+// The flat-histogram mode relies on every consumed cell being re-zeroed by
+// the row scan, so a reused scratch needs no bulk clear. Debug builds
+// re-prove that invariant at entry (the contract is only referenced from a
+// RANKTIES_DCHECK, so release builds never evaluate it).
+bool JointCountsAllZero(const std::vector<std::int64_t>& cells,
+                        std::size_t limit) {
+  const std::size_t checked = std::min(cells.size(), limit);
+  for (std::size_t i = 0; i < checked; ++i) {
+    if (cells[i] != 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 PreparedRanking::PreparedRanking(const BucketOrder& order) {
+  // Freeze boundary: every kernel below assumes a well-formed bucket order
+  // (Theorem 5 / Proposition 6 preconditions), so re-prove it here in
+  // debug builds rather than inside each hot kernel.
+  RANKTIES_DCHECK_OK(order.Validate());
   const std::size_t n = order.n();
   const std::size_t t = order.num_buckets();
   bucket_of_.resize(n);
@@ -66,6 +83,7 @@ PreparedRanking::PreparedRanking(const BucketOrder& order) {
     }
   }
   bucket_offset_[t] = cursor;
+  RANKTIES_DCHECK(cursor == n);  // the partition covered the whole domain
 }
 
 void PairScratch::Reserve(std::size_t n, std::size_t buckets) {
@@ -80,7 +98,7 @@ void PairScratch::Reserve(std::size_t n, std::size_t buckets) {
 PairCounts ComputePairCounts(const PreparedRanking& sigma,
                              const PreparedRanking& tau,
                              PairScratch& scratch) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   PairCounts counts;
   if (n < 2) return counts;
@@ -102,6 +120,7 @@ PairCounts ComputePairCounts(const PreparedRanking& sigma,
     // per cell, with no per-element tree walks and no sort. Cells are
     // re-zeroed as they are consumed, so the buffer never needs a bulk
     // clear (entries are zero outside a call, by invariant).
+    RANKTIES_DCHECK(JointCountsAllZero(scratch.joint_counts_, product));
     if (scratch.joint_counts_.size() < product) {
       scratch.joint_counts_.resize(product, 0);
       scratch_grew = true;
@@ -230,7 +249,7 @@ double Kprof(const PreparedRanking& sigma, const PreparedRanking& tau,
 
 double KendallP(const PreparedRanking& sigma, const PreparedRanking& tau,
                 double p, PairScratch& scratch) {
-  assert(p >= 0.0 && p <= 1.0);
+  RANKTIES_DCHECK(p >= 0.0 && p <= 1.0);
   if (sigma.n() < 2) return 0.0;  // no pairs on a degenerate universe
   return KendallPFromCounts(ComputePairCounts(sigma, tau, scratch), p);
 }
@@ -243,7 +262,7 @@ std::int64_t KHausdorff(const PreparedRanking& sigma,
 
 std::int64_t TwiceFprof(const PreparedRanking& sigma,
                         const PreparedRanking& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::vector<std::int64_t>& a = sigma.twice_position();
   const std::vector<std::int64_t>& b = tau.twice_position();
   std::int64_t total = 0;

@@ -41,12 +41,21 @@ class PreparedRanking {
   /// Freezes `order`: one pass over its buckets, no comparison sort.
   explicit PreparedRanking(const BucketOrder& order);
 
-  std::size_t n() const { return bucket_of_.size(); }
-  std::size_t num_buckets() const { return bucket_offset_.size() - 1; }
+  /// Movable and copyable; moves are noexcept so containers of prepared
+  /// rankings relocate instead of copying when they grow
+  /// (clang-tidy performance-noexcept-move-constructor).
+  PreparedRanking(const PreparedRanking&) = default;
+  PreparedRanking& operator=(const PreparedRanking&) = default;
+  PreparedRanking(PreparedRanking&&) noexcept = default;
+  PreparedRanking& operator=(PreparedRanking&&) noexcept = default;
+  ~PreparedRanking() = default;
+
+  [[nodiscard]] std::size_t n() const { return bucket_of_.size(); }
+  [[nodiscard]] std::size_t num_buckets() const { return bucket_offset_.size() - 1; }
 
   /// Number of unordered pairs tied in this ranking
   /// (sum over buckets of |B| choose 2), precomputed at freeze time.
-  std::int64_t tied_pairs() const { return tied_pairs_; }
+  [[nodiscard]] std::int64_t tied_pairs() const { return tied_pairs_; }
 
   /// bucket_of()[e] = index of e's bucket (dense, element-indexed).
   const std::vector<BucketIndex>& bucket_of() const { return bucket_of_; }
@@ -86,6 +95,11 @@ class PairScratch {
 
   PairScratch(const PairScratch&) = delete;
   PairScratch& operator=(const PairScratch&) = delete;
+  /// Move-only: a warm scratch can be handed between owners (e.g. pool
+  /// lane storage) without re-paying the grow-to-high-water cost.
+  PairScratch(PairScratch&&) noexcept = default;
+  PairScratch& operator=(PairScratch&&) noexcept = default;
+  ~PairScratch() = default;
 
   /// Grows all buffers to the high-water mark for rankings with up to `n`
   /// elements and `buckets` buckets per side, so that subsequent kernel
@@ -118,35 +132,40 @@ class PairScratch {
 /// Fenwick; otherwise it falls back to sort-and-run-count on the scratch
 /// key buffer plus a Fenwick sweep, O(n log n). Requires
 /// sigma.n() == tau.n().
-PairCounts ComputePairCounts(const PreparedRanking& sigma,
-                             const PreparedRanking& tau, PairScratch& scratch);
+[[nodiscard]] PairCounts ComputePairCounts(
+    const PreparedRanking& sigma, const PreparedRanking& tau,
+    PairScratch& scratch);
 
 /// 2*Kprof on prepared rankings (paper §3.1); zero-allocation on a warm
 /// scratch, bit-identical to TwiceKprof(BucketOrder, BucketOrder).
-std::int64_t TwiceKprof(const PreparedRanking& sigma,
-                        const PreparedRanking& tau, PairScratch& scratch);
+[[nodiscard]] std::int64_t TwiceKprof(const PreparedRanking& sigma,
+                                      const PreparedRanking& tau,
+                                      PairScratch& scratch);
 
 /// Kprof as a double, matching Kprof(BucketOrder, BucketOrder) exactly.
-double Kprof(const PreparedRanking& sigma, const PreparedRanking& tau,
-             PairScratch& scratch);
+[[nodiscard]] double Kprof(const PreparedRanking& sigma,
+                           const PreparedRanking& tau, PairScratch& scratch);
 
 /// K^(p) on prepared rankings, bit-identical to the legacy KendallP.
-double KendallP(const PreparedRanking& sigma, const PreparedRanking& tau,
-                double p, PairScratch& scratch);
+[[nodiscard]] double KendallP(const PreparedRanking& sigma,
+                              const PreparedRanking& tau, double p,
+                              PairScratch& scratch);
 
 /// KHaus via Proposition 6 on prepared rankings; zero-allocation on a warm
 /// scratch, bit-identical to KHausdorff(BucketOrder, BucketOrder).
-std::int64_t KHausdorff(const PreparedRanking& sigma,
-                        const PreparedRanking& tau, PairScratch& scratch);
+[[nodiscard]] std::int64_t KHausdorff(const PreparedRanking& sigma,
+                                      const PreparedRanking& tau,
+                                      PairScratch& scratch);
 
 /// 2*Fprof as a straight L1 walk over the two frozen doubled-position
 /// vectors; allocation-free (needs no scratch), bit-identical to
 /// TwiceFprof(BucketOrder, BucketOrder).
-std::int64_t TwiceFprof(const PreparedRanking& sigma,
-                        const PreparedRanking& tau);
+[[nodiscard]] std::int64_t TwiceFprof(const PreparedRanking& sigma,
+                                      const PreparedRanking& tau);
 
 /// Fprof as a double, matching Fprof(BucketOrder, BucketOrder) exactly.
-double Fprof(const PreparedRanking& sigma, const PreparedRanking& tau);
+[[nodiscard]] double Fprof(const PreparedRanking& sigma,
+                           const PreparedRanking& tau);
 
 }  // namespace rankties
 

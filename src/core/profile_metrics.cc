@@ -1,10 +1,11 @@
 #include "core/profile_metrics.h"
 
-#include <cassert>
 #include <cstdlib>
 
 #include "core/kendall.h"
 #include "rank/refinement.h"
+#include "util/checked_math.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -15,7 +16,7 @@ double KendallPFromCounts(const PairCounts& counts, double p) {
 }
 
 double KendallP(const BucketOrder& sigma, const BucketOrder& tau, double p) {
-  assert(p >= 0.0 && p <= 1.0);
+  RANKTIES_DCHECK(p >= 0.0 && p <= 1.0);
   if (sigma.n() < 2) return 0.0;  // no pairs on a degenerate universe
   return KendallPFromCounts(ComputePairCounts(sigma, tau), p);
 }
@@ -38,7 +39,10 @@ std::vector<std::int8_t> KProfileQuarters(const BucketOrder& sigma) {
   const std::size_t n = sigma.n();
   std::vector<std::int8_t> profile;
   if (n < 2) return profile;
-  profile.reserve(n * (n - 1));  // exactly n(n-1) ordered pairs, no regrowth
+  // Exactly n(n-1) ordered pairs, no regrowth; checked so a domain past
+  // 2^32 aborts instead of silently reserving a wrapped size.
+  profile.reserve(static_cast<std::size_t>(
+      CheckedMul(CheckedInt64(n), CheckedInt64(n - 1))));
   for (std::size_t i = 0; i < n; ++i) {
     // One bucket lookup per row and one per column; the two Ahead()
     // directions collapse to a single three-way bucket-index comparison.
@@ -55,14 +59,14 @@ std::vector<std::int8_t> KProfileQuarters(const BucketOrder& sigma) {
 
 std::int64_t TwiceKprofFromProfiles(const std::vector<std::int8_t>& a,
                                     const std::vector<std::int8_t>& b) {
-  assert(a.size() == b.size());
+  RANKTIES_DCHECK(a.size() == b.size());
   // Profile entries are quarters (+-1/4 stored as +-1); the L1 distance in
   // quarter units, halved, equals 2*Kprof.
   std::int64_t quarters = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     quarters += std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i]));
   }
-  assert(quarters % 2 == 0);
+  RANKTIES_DCHECK(quarters % 2 == 0);
   return quarters / 2;
 }
 
@@ -85,7 +89,7 @@ double Kavg(const BucketOrder& sigma, const BucketOrder& tau) {
 
 double KavgSampled(const BucketOrder& sigma, const BucketOrder& tau,
                    int samples, Rng& rng) {
-  assert(samples > 0);
+  RANKTIES_DCHECK(samples > 0);
   if (sigma.n() < 2) return 0.0;  // skip sampling: every refinement pair
                                   // has distance zero
   std::int64_t total = 0;
@@ -108,7 +112,7 @@ double KavgBrute(const BucketOrder& sigma, const BucketOrder& tau) {
     });
     return true;
   });
-  assert(pairs > 0);
+  RANKTIES_DCHECK(pairs > 0);
   return static_cast<double>(total) / static_cast<double>(pairs);
 }
 

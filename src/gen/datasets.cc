@@ -1,11 +1,11 @@
 #include "gen/datasets.h"
 
-#include <cassert>
 #include <cmath>
 #include <string>
 #include <vector>
 
 #include "gen/zipf.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -39,7 +39,7 @@ Table MakeRestaurantTable(std::size_t num_rows, Rng& rng) {
         Value(price),
         Value(stars),
     });
-    assert(s.ok());
+    RANKTIES_DCHECK_OK(s);
     (void)s;
   }
   return table;
@@ -74,7 +74,7 @@ Table MakeFlightTable(std::size_t num_rows, Rng& rng) {
         Value(departure),
         Value(duration),
     });
-    assert(s.ok());
+    RANKTIES_DCHECK_OK(s);
     (void)s;
   }
   return table;
@@ -96,7 +96,7 @@ Table MakeBibliographyTable(std::size_t num_rows, Rng& rng) {
         Value(static_cast<double>(citation_dist.Sample(rng))),
         Value(static_cast<double>(rng.UniformInt(6, 30))),
     });
-    assert(s.ok());
+    RANKTIES_DCHECK_OK(s);
     (void)s;
   }
   return table;
@@ -123,7 +123,7 @@ Table MakeAwardsTable(std::size_t num_rows, Rng& rng) {
         Value(static_cast<double>(rng.UniformInt(1990, 2004))),
         Value(duration),
     });
-    assert(s.ok());
+    RANKTIES_DCHECK_OK(s);
     (void)s;
   }
   return table;

@@ -1,13 +1,13 @@
 #include "gen/mallows.h"
+#include "util/contracts.h"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
 
 namespace rankties {
 
 Permutation MallowsSample(const Permutation& center, double phi, Rng& rng) {
-  assert(phi > 0.0 && phi <= 1.0);
+  RANKTIES_DCHECK(phi > 0.0 && phi <= 1.0);
   const std::size_t n = center.n();
   std::vector<ElementId> order;
   order.reserve(n);
@@ -38,14 +38,14 @@ Permutation MallowsSample(const Permutation& center, double phi, Rng& rng) {
     order.insert(order.end() - static_cast<std::ptrdiff_t>(j), e);
   }
   StatusOr<Permutation> perm = Permutation::FromOrder(order);
-  assert(perm.ok());
+  RANKTIES_DCHECK_OK(perm);
   return std::move(perm).value();
 }
 
 BucketOrder QuantizedMallows(const Permutation& center, double phi,
                              std::size_t num_buckets, Rng& rng) {
   const std::size_t n = center.n();
-  assert(num_buckets >= 1 && num_buckets <= n);
+  RANKTIES_DCHECK(num_buckets >= 1 && num_buckets <= n);
   const Permutation sample = MallowsSample(center, phi, rng);
   // Near-equal contiguous rank bands: the first (n mod t) bands get one
   // extra element.
@@ -62,7 +62,7 @@ BucketOrder QuantizedMallows(const Permutation& center, double phi,
     }
   }
   StatusOr<BucketOrder> order = BucketOrder::FromBucketIndex(bucket_of);
-  assert(order.ok());
+  RANKTIES_DCHECK_OK(order);
   return std::move(order).value();
 }
 
@@ -70,7 +70,7 @@ Permutation PlackettLuceSample(const std::vector<double>& weights, Rng& rng) {
   const std::size_t n = weights.size();
   std::vector<ElementId> remaining(n);
   for (std::size_t e = 0; e < n; ++e) {
-    assert(weights[e] > 0.0);
+    RANKTIES_DCHECK(weights[e] > 0.0);
     remaining[e] = static_cast<ElementId>(e);
   }
   double total = 0.0;
@@ -94,7 +94,7 @@ Permutation PlackettLuceSample(const std::vector<double>& weights, Rng& rng) {
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
   }
   StatusOr<Permutation> perm = Permutation::FromOrder(order);
-  assert(perm.ok());
+  RANKTIES_DCHECK_OK(perm);
   return std::move(perm).value();
 }
 

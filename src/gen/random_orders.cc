@@ -1,13 +1,13 @@
 #include "gen/random_orders.h"
+#include "util/contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 
 namespace rankties {
 
 std::vector<std::size_t> RandomType(std::size_t n, Rng& rng) {
-  assert(n > 0);
+  RANKTIES_DCHECK(n > 0);
   std::vector<std::size_t> type;
   std::size_t run = 1;
   for (std::size_t gap = 1; gap < n; ++gap) {
@@ -39,7 +39,7 @@ BucketOrder AssembleRandom(std::size_t n, const std::vector<std::size_t>& type,
     at += size;
   }
   StatusOr<BucketOrder> order = BucketOrder::FromBuckets(n, std::move(buckets));
-  assert(order.ok());
+  RANKTIES_DCHECK_OK(order);
   return std::move(order).value();
 }
 
@@ -51,7 +51,7 @@ BucketOrder RandomBucketOrder(std::size_t n, Rng& rng) {
 
 BucketOrder RandomBucketOrderWithBuckets(std::size_t n, std::size_t t,
                                          Rng& rng) {
-  assert(t >= 1 && t <= n);
+  RANKTIES_DCHECK(t >= 1 && t <= n);
   // Stars and bars: choose t-1 distinct boundaries among the n-1 gaps.
   std::vector<std::size_t> gaps(n - 1);
   std::iota(gaps.begin(), gaps.end(), 1);
@@ -70,12 +70,12 @@ BucketOrder RandomBucketOrderWithBuckets(std::size_t n, std::size_t t,
 }
 
 BucketOrder RandomTopK(std::size_t n, std::size_t k, Rng& rng) {
-  assert(k <= n);
+  RANKTIES_DCHECK(k <= n);
   return BucketOrder::TopKOf(Permutation::Random(n, rng), k);
 }
 
 BucketOrder RandomFewValued(std::size_t n, double mean_bucket, Rng& rng) {
-  assert(mean_bucket >= 1.0);
+  RANKTIES_DCHECK(mean_bucket >= 1.0);
   const double p = 1.0 / mean_bucket;  // geometric "stop the bucket" prob.
   std::vector<std::size_t> type;
   std::size_t remaining = n;

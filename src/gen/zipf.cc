@@ -1,13 +1,13 @@
 #include "gen/zipf.h"
+#include "util/contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace rankties {
 
 ZipfSampler::ZipfSampler(std::size_t num_values, double s) {
-  assert(num_values > 0);
+  RANKTIES_DCHECK(num_values > 0);
   cdf_.resize(num_values);
   double total = 0.0;
   for (std::size_t i = 0; i < num_values; ++i) {

@@ -1,10 +1,11 @@
 #include "rank/bucket_order.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <sstream>
 #include <utility>
+
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -46,6 +47,7 @@ StatusOr<BucketOrder> BucketOrder::FromBuckets(
   }
   order.buckets_ = std::move(buckets);
   order.RebuildPositions();
+  RANKTIES_DCHECK_OK(order.Validate());
   return order;
 }
 
@@ -83,6 +85,7 @@ BucketOrder BucketOrder::FromPermutation(const Permutation& perm) {
     order.bucket_of_[e] = rank;
   }
   order.RebuildPositions();
+  RANKTIES_DCHECK_OK(order.Validate());
   return order;
 }
 
@@ -94,12 +97,13 @@ BucketOrder BucketOrder::SingleBucket(std::size_t n) {
   std::iota(order.buckets_[0].begin(), order.buckets_[0].end(), 0);
   order.bucket_of_.assign(n, 0);
   order.RebuildPositions();
+  RANKTIES_DCHECK_OK(order.Validate());
   return order;
 }
 
 BucketOrder BucketOrder::TopKOf(const Permutation& perm, std::size_t k) {
   const std::size_t n = perm.n();
-  assert(k <= n);
+  RANKTIES_DCHECK(k <= n);
   if (k == n) return FromPermutation(perm);
   BucketOrder order;
   order.buckets_.resize(k + (k < n ? 1 : 0));
@@ -118,6 +122,7 @@ BucketOrder BucketOrder::TopKOf(const Permutation& perm, std::size_t k) {
   }
   std::sort(order.buckets_[k].begin(), order.buckets_[k].end());
   order.RebuildPositions();
+  RANKTIES_DCHECK_OK(order.Validate());
   return order;
 }
 
@@ -143,6 +148,7 @@ BucketOrder BucketOrder::FromScores(const std::vector<double>& scores) {
   }
   for (auto& b : order.buckets_) std::sort(b.begin(), b.end());
   order.RebuildPositions();
+  RANKTIES_DCHECK_OK(order.Validate());
   return order;
 }
 
@@ -168,7 +174,44 @@ BucketOrder BucketOrder::FromIntKeys(const std::vector<std::int64_t>& keys) {
   }
   for (auto& b : order.buckets_) std::sort(b.begin(), b.end());
   order.RebuildPositions();
+  RANKTIES_DCHECK_OK(order.Validate());
   return order;
+}
+
+Status BucketOrder::Validate() const {
+  const std::size_t n = bucket_of_.size();
+  if (twice_pos_by_bucket_.size() != buckets_.size()) {
+    return Status::Internal("position table size differs from bucket count");
+  }
+  std::size_t covered = 0;
+  std::int64_t before = 0;  // elements in earlier buckets
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::vector<ElementId>& bucket = buckets_[b];
+    if (bucket.empty()) return Status::Internal("empty bucket");
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const ElementId e = bucket[i];
+      if (e < 0 || static_cast<std::size_t>(e) >= n) {
+        return Status::Internal("bucket element out of range [0, n)");
+      }
+      if (i > 0 && bucket[i - 1] >= e) {
+        return Status::Internal("bucket elements not strictly ascending");
+      }
+      if (bucket_of_[static_cast<std::size_t>(e)] !=
+          static_cast<BucketIndex>(b)) {
+        return Status::Internal("bucket_of disagrees with the partition");
+      }
+    }
+    const std::int64_t size = static_cast<std::int64_t>(bucket.size());
+    if (twice_pos_by_bucket_[b] != 2 * before + size + 1) {
+      return Status::Internal("doubled average position is inconsistent");
+    }
+    before += size;
+    covered += bucket.size();
+  }
+  // bucket_of_ consistency above makes double-coverage impossible, so a
+  // total count equal to n certifies the partition.
+  if (covered != n) return Status::Internal("buckets do not cover the domain");
+  return Status::Ok();
 }
 
 std::vector<std::size_t> BucketOrder::Type() const {
@@ -197,6 +240,7 @@ BucketOrder BucketOrder::Reverse() const {
     order.bucket_of_[e] = t - 1 - bucket_of_[e];
   }
   order.RebuildPositions();
+  RANKTIES_DCHECK_OK(order.Validate());
   return order;
 }
 
@@ -240,7 +284,7 @@ Permutation BucketOrder::CanonicalRefinement() const {
     out.insert(out.end(), b.begin(), b.end());
   }
   StatusOr<Permutation> perm = Permutation::FromOrder(out);
-  assert(perm.ok());
+  RANKTIES_DCHECK_OK(perm);
   return std::move(perm).value();
 }
 

@@ -112,6 +112,16 @@ class BucketOrder {
   /// The reverse partial ranking sigma^R, sigma^R(d) = |D|+1-sigma(d).
   BucketOrder Reverse() const;
 
+  /// Full structural well-formedness check, O(n): buckets partition
+  /// {0..n-1} with no empty bucket, elements ascend within each bucket,
+  /// `bucket_of` agrees with the partition, and every stored doubled
+  /// position equals the paper's average-position formula
+  /// 2*pos(Bi) = 2*sum_{j<i}|Bj| + |Bi| + 1. The factory functions keep
+  /// this true by construction; the contract layer re-checks it in debug
+  /// builds at the prepared-ranking freeze boundary
+  /// (RANKTIES_DCHECK_OK(order.Validate())).
+  [[nodiscard]] Status Validate() const;
+
   /// The induced partial ranking on a subset of the domain: keep only the
   /// elements of `subset` (old ids), renumber them 0..|subset|-1 in the
   /// order given by `subset`, and drop now-empty buckets. Used to push

@@ -1,6 +1,6 @@
 #include "rank/conversions.h"
+#include "util/contracts.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -85,7 +85,7 @@ StatusOr<BucketOrder> ConsecutiveBlocks(std::size_t n,
 }
 
 BucketOrder Relabel(const BucketOrder& order, const Permutation& relabel) {
-  assert(order.n() == relabel.n());
+  RANKTIES_DCHECK(order.n() == relabel.n());
   std::vector<BucketIndex> bucket_of(order.n());
   for (std::size_t e = 0; e < order.n(); ++e) {
     bucket_of[static_cast<std::size_t>(
@@ -93,7 +93,7 @@ BucketOrder Relabel(const BucketOrder& order, const Permutation& relabel) {
         order.BucketOf(static_cast<ElementId>(e));
   }
   StatusOr<BucketOrder> result = BucketOrder::FromBucketIndex(bucket_of);
-  assert(result.ok());
+  RANKTIES_DCHECK_OK(result);
   return std::move(result).value();
 }
 
@@ -107,7 +107,7 @@ BucketOrder Concatenate(const BucketOrder& a, const BucketOrder& b) {
     bucket_of[a.n() + e] = offset + b.BucketOf(static_cast<ElementId>(e));
   }
   StatusOr<BucketOrder> result = BucketOrder::FromBucketIndex(bucket_of);
-  assert(result.ok());
+  RANKTIES_DCHECK_OK(result);
   return std::move(result).value();
 }
 

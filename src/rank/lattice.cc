@@ -1,11 +1,11 @@
 #include "rank/lattice.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <set>
 
 #include "rank/refinement.h"
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -22,13 +22,13 @@ StatusOr<BucketOrder> CoarsestCommonRefinement(const BucketOrder& sigma,
     return Status::FailedPrecondition(
         "no common refinement: the orders contain a discordant pair");
   }
-  assert(IsRefinementOf(candidate, sigma));
+  RANKTIES_DCHECK(IsRefinementOf(candidate, sigma));
   return candidate;
 }
 
 BucketOrder FinestCommonCoarsening(const BucketOrder& sigma,
                                    const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   if (n == 0) return BucketOrder();
 
@@ -90,7 +90,7 @@ BucketOrder FinestCommonCoarsening(const BucketOrder& sigma,
       cuts.push_back(prefix);
     }
   }
-  assert(!cuts.empty() && cuts.back() == static_cast<std::int64_t>(n));
+  RANKTIES_DCHECK(!cuts.empty() && cuts.back() == static_cast<std::int64_t>(n));
 
   // Assemble: bucket b = elements with previous_cut < f_sigma <= cut.
   std::vector<BucketIndex> bucket_of(n);
@@ -100,7 +100,7 @@ BucketOrder FinestCommonCoarsening(const BucketOrder& sigma,
     bucket_of[e] = static_cast<BucketIndex>(it - cuts.begin());
   }
   StatusOr<BucketOrder> result = BucketOrder::FromBucketIndex(bucket_of);
-  assert(result.ok());
+  RANKTIES_DCHECK_OK(result);
   return std::move(result).value();
 }
 

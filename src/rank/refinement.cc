@@ -1,14 +1,14 @@
 #include "rank/refinement.h"
+#include "util/contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 
 namespace rankties {
 
 bool IsRefinementOf(const BucketOrder& sigma, const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   // Every sigma-bucket must be contained in a single tau-bucket, and the
   // sequence of containing tau-buckets must be non-decreasing.
   BucketIndex prev_tau_bucket = -1;
@@ -25,7 +25,7 @@ bool IsRefinementOf(const BucketOrder& sigma, const BucketOrder& tau) {
 }
 
 BucketOrder TauRefine(const BucketOrder& tau, const BucketOrder& sigma) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   std::vector<ElementId> elems(n);
   std::iota(elems.begin(), elems.end(), 0);
@@ -46,12 +46,12 @@ BucketOrder TauRefine(const BucketOrder& tau, const BucketOrder& sigma) {
   }
   StatusOr<BucketOrder> result =
       BucketOrder::FromBuckets(n, std::move(buckets));
-  assert(result.ok());
+  RANKTIES_DCHECK_OK(result);
   return std::move(result).value();
 }
 
 Permutation TauRefineFull(const Permutation& tau, const BucketOrder& sigma) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::size_t n = sigma.n();
   std::vector<ElementId> elems(n);
   std::iota(elems.begin(), elems.end(), 0);
@@ -61,7 +61,7 @@ Permutation TauRefineFull(const Permutation& tau, const BucketOrder& sigma) {
     return tau.Rank(a) < tau.Rank(b);
   });
   StatusOr<Permutation> perm = Permutation::FromOrder(elems);
-  assert(perm.ok());
+  RANKTIES_DCHECK_OK(perm);
   return std::move(perm).value();
 }
 
@@ -73,7 +73,7 @@ bool EnumerateBuckets(const BucketOrder& sigma, std::size_t b,
                       const std::function<bool(const Permutation&)>& visit) {
   if (b == sigma.num_buckets()) {
     StatusOr<Permutation> perm = Permutation::FromOrder(prefix);
-    assert(perm.ok());
+    RANKTIES_DCHECK_OK(perm);
     return visit(perm.value());
   }
   std::vector<ElementId> bucket = sigma.bucket(b);  // ascending => first perm
@@ -122,7 +122,7 @@ Permutation RandomFullRefinement(const BucketOrder& sigma, Rng& rng) {
     order.insert(order.end(), bucket.begin(), bucket.end());
   }
   StatusOr<Permutation> perm = Permutation::FromOrder(order);
-  assert(perm.ok());
+  RANKTIES_DCHECK_OK(perm);
   return std::move(perm).value();
 }
 

@@ -1,7 +1,7 @@
 #include "ref/ref_metrics.h"
+#include "util/contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 #include <limits>
 #include <utility>
@@ -113,7 +113,7 @@ struct PairTally {
 };
 
 PairTally TallyPairs(const BucketOrder& sigma, const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   PairTally tally;
   for (std::size_t i = 0; i < sigma.n(); ++i) {
     for (std::size_t j = i + 1; j < sigma.n(); ++j) {
@@ -147,7 +147,7 @@ std::int64_t SaturatingFactorialProduct(const BucketOrder& sigma,
 }  // namespace
 
 std::int64_t KendallTau(const Permutation& sigma, const Permutation& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   std::int64_t discordant = 0;
   for (std::size_t i = 0; i < sigma.n(); ++i) {
     for (std::size_t j = i + 1; j < sigma.n(); ++j) {
@@ -160,7 +160,7 @@ std::int64_t KendallTau(const Permutation& sigma, const Permutation& tau) {
 }
 
 std::int64_t Footrule(const Permutation& sigma, const Permutation& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   std::int64_t total = 0;
   for (std::size_t e = 0; e < sigma.n(); ++e) {
     const ElementId id = static_cast<ElementId>(e);
@@ -190,7 +190,7 @@ std::vector<std::int64_t> TwicePositions(const BucketOrder& sigma) {
 }
 
 std::int64_t TwiceFprof(const BucketOrder& sigma, const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::vector<std::int64_t> ps = TwicePositions(sigma);
   const std::vector<std::int64_t> pt = TwicePositions(tau);
   std::int64_t total = 0;
@@ -206,7 +206,7 @@ std::int64_t TwiceKprof(const BucketOrder& sigma, const BucketOrder& tau) {
 }
 
 double KendallP(const BucketOrder& sigma, const BucketOrder& tau, double p) {
-  assert(p >= 0.0 && p <= 1.0);
+  RANKTIES_DCHECK(p >= 0.0 && p <= 1.0);
   const PairTally tally = TallyPairs(sigma, tau);
   // Same final expression as the optimized KendallPFromCounts, so equal
   // integer tallies give bit-identical doubles.
@@ -229,14 +229,14 @@ std::int64_t RefinementPairCount(const BucketOrder& sigma,
 }
 
 std::int64_t KHausdorff(const BucketOrder& sigma, const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   return HausdorffOnSets(CollectRefinementRanks(sigma),
                          CollectRefinementRanks(tau), KendallOnRanks);
 }
 
 std::int64_t TwiceFHausdorff(const BucketOrder& sigma,
                              const BucketOrder& tau) {
-  assert(sigma.n() == tau.n());
+  RANKTIES_DCHECK(sigma.n() == tau.n());
   return 2 * HausdorffOnSets(CollectRefinementRanks(sigma),
                              CollectRefinementRanks(tau), FootruleOnRanks);
 }

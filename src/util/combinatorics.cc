@@ -1,15 +1,15 @@
 #include "util/combinatorics.h"
+#include "util/contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 
 namespace rankties {
 
 std::vector<std::size_t> CompositionFromMask(std::size_t n,
                                              std::uint64_t mask) {
-  assert(n >= 1);
-  assert(n == 1 || mask < (1ULL << (n - 1)));
+  RANKTIES_DCHECK(n >= 1);
+  RANKTIES_DCHECK(n == 1 || mask < (1ULL << (n - 1)));
   std::vector<std::size_t> parts;
   std::size_t run = 1;
   for (std::size_t r = 0; r + 1 < n; ++r) {

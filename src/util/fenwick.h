@@ -1,9 +1,10 @@
 #ifndef RANKTIES_UTIL_FENWICK_H_
 #define RANKTIES_UTIL_FENWICK_H_
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -20,7 +21,7 @@ class Fenwick {
 
   /// Adds `delta` to slot `index`.
   void Add(std::size_t index, T delta) {
-    assert(index < size());
+    RANKTIES_BOUNDS(index, size());
     for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
       tree_[i] += delta;
     }
@@ -28,7 +29,7 @@ class Fenwick {
 
   /// Returns the sum of slots [0, index] inclusive.
   T PrefixSum(std::size_t index) const {
-    assert(index < size());
+    RANKTIES_BOUNDS(index, size());
     T sum{};
     for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) {
       sum += tree_[i];

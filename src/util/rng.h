@@ -1,10 +1,11 @@
 #ifndef RANKTIES_UTIL_RNG_H_
 #define RANKTIES_UTIL_RNG_H_
 
-#include <cassert>
 #include <cstdint>
 #include <random>
 #include <vector>
+
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -18,7 +19,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
-    assert(lo <= hi);
+    RANKTIES_DCHECK(lo <= hi);
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
   }
 

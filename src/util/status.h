@@ -1,11 +1,12 @@
 #ifndef RANKTIES_UTIL_STATUS_H_
 #define RANKTIES_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
+
+#include "util/contracts.h"
 
 namespace rankties {
 
@@ -30,8 +31,10 @@ const char* StatusCodeName(StatusCode code);
 /// A cheap value-type carrying success or an error code plus message.
 ///
 /// The library never throws; every fallible public entry point returns
-/// `Status` or `StatusOr<T>`.
-class Status {
+/// `Status` or `StatusOr<T>`. Both carriers are [[nodiscard]]: silently
+/// dropping an error defeats the whole idiom, so ignoring one is a
+/// compile-time warning (an error under -Werror).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -60,7 +63,7 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -83,28 +86,28 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// Accessing `value()` on an error StatusOr is a programming error and
 /// asserts in debug builds.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (success).
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit construction from an error status.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+    RANKTIES_DCHECK(!status_.ok() && "StatusOr(Status) requires a non-OK status");
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok() && "value() called on error StatusOr");
+    RANKTIES_DCHECK(ok() && "value() called on error StatusOr");
     return *value_;
   }
   T& value() & {
-    assert(ok() && "value() called on error StatusOr");
+    RANKTIES_DCHECK(ok() && "value() called on error StatusOr");
     return *value_;
   }
   T&& value() && {
-    assert(ok() && "value() called on error StatusOr");
+    RANKTIES_DCHECK(ok() && "value() called on error StatusOr");
     return std::move(*value_);
   }
 

@@ -143,8 +143,10 @@ void ThreadPool::SetGlobalThreads(std::size_t threads) {
 std::size_t ThreadPool::GlobalThreads() { return Global().threads(); }
 
 std::size_t ThreadPool::DefaultThreads() {
-  const std::size_t from_env =
-      ParseThreadsSpec(std::getenv("RANKTIES_THREADS"));
+  // Read once, before any worker thread exists; no concurrent setenv here.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* spec = std::getenv("RANKTIES_THREADS");
+  const std::size_t from_env = ParseThreadsSpec(spec);
   if (from_env > 0) return from_env;
   const unsigned hardware = std::thread::hardware_concurrency();
   return std::max<std::size_t>(1, hardware);

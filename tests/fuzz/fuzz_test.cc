@@ -248,6 +248,8 @@ std::uint64_t ParseU64(const char* text) {
   return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 0));
 }
 
+// Runs in main() before gtest spawns anything; single-threaded, so the
+// mt-unsafe getenv reads below are safe. NOLINTBEGIN(concurrency-mt-unsafe)
 void ParseFuzzFlags(int argc, char** argv) {
   rankties::fuzz::FuzzFlags& flags = rankties::fuzz::Flags();
   if (const char* env = std::getenv("RANKTIES_FUZZ_SEED_BASE")) {
@@ -277,6 +279,7 @@ void ParseFuzzFlags(int argc, char** argv) {
     }
   }
 }
+// NOLINTEND(concurrency-mt-unsafe)
 
 }  // namespace
 

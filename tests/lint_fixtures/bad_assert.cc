@@ -1,0 +1,13 @@
+// rankties-lint-fixture: expect RT002
+// Raw assert() in library code: contracts must use RANKTIES_DCHECK so
+// release compile-out and diagnostics stay centrally controlled.
+#include <cassert>
+#include <cstddef>
+
+namespace rankties {
+
+void RequireNonEmpty(std::size_t n) {
+  assert(n > 0);
+}
+
+}  // namespace rankties

@@ -1,0 +1,16 @@
+// rankties-lint-fixture: expect RT005
+// Reaching into BucketOrder's representation outside src/rank/ bypasses
+// the partition/position invariants that Validate() certifies.
+#include <vector>
+
+namespace rankties {
+
+struct FakeOrder {
+  std::vector<int> buckets_;
+};
+
+void ClobberBuckets(FakeOrder& order) {
+  order.buckets_.clear();
+}
+
+}  // namespace rankties

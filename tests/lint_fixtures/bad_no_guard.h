@@ -1,0 +1,9 @@
+// rankties-lint-fixture: expect RT004
+// Header without an include guard: double inclusion breaks the build in
+// ways that surface far from the culprit.
+
+namespace rankties {
+
+inline int GuardlessHelper() { return 42; }
+
+}  // namespace rankties

@@ -1,0 +1,11 @@
+// rankties-lint-fixture: expect RT001
+// Raw pair-count arithmetic: n * (n - 1) / 2 wraps silently past 2^32.
+#include <cstdint>
+
+namespace rankties {
+
+std::int64_t UncheckedPairCount(std::int64_t n) {
+  return n * (n - 1) / 2;
+}
+
+}  // namespace rankties

@@ -1,0 +1,12 @@
+// rankties-lint-fixture: expect RT003
+// std::rand is unseeded global state; all randomness must flow through
+// util/rng.h so every run replays from an explicit seed.
+#include <cstdlib>
+
+namespace rankties {
+
+int UnseededCoinFlip() {
+  return std::rand() % 2;
+}
+
+}  // namespace rankties

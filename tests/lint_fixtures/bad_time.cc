@@ -1,0 +1,12 @@
+// rankties-lint-fixture: expect RT003
+// time(nullptr) seeds are irreproducible; benchmarks and generators must
+// take explicit seeds (util/rng.h) and clocks from util/stopwatch.h.
+#include <ctime>
+
+namespace rankties {
+
+long WallClockSeed() {
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace rankties

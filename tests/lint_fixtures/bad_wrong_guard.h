@@ -1,0 +1,13 @@
+// rankties-lint-fixture: expect RT004
+// Include guard present but off-convention: guard names must mirror the
+// header path (RANKTIES_<PATH>_H_) so collisions cannot hide headers.
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+namespace rankties {
+
+inline int WrongGuardHelper() { return 42; }
+
+}  // namespace rankties
+
+#endif  // SOME_OTHER_GUARD_H

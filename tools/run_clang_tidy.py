@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Run the project's clang-tidy profile over every first-party translation unit.
+
+Reads compile_commands.json (exported by CMake; CMAKE_EXPORT_COMPILE_COMMANDS
+is ON by default in the top-level CMakeLists.txt), filters it to sources under
+src/, bench/, tests/, and examples/, and runs clang-tidy on each in parallel.
+Any diagnostic is a failure: the .clang-tidy profile sets WarningsAsErrors to
+'*', so the job is a zero-warning gate, not a report.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir build] [--jobs N] [--clang-tidy BIN]
+                          [paths...]
+
+Positional paths (files or directories, relative to the repo root) restrict
+the run; the default is every first-party TU. The clang-tidy binary comes
+from --clang-tidy, the CLANG_TIDY environment variable, or PATH lookup of
+clang-tidy / clang-tidy-{18..14}, in that order. Exits 2 with a clear
+message when no binary is found (the local toolchain is GCC-only; this
+gate runs in CI where clang-tidy is installed).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY_DIRS = ("src", "bench", "tests", "examples")
+
+# Generated or third-party TUs that may appear in compile_commands.json but
+# are not held to the profile (gtest sources, CMake feature probes).
+EXCLUDE_PARTS = ("_deps", "CMakeFiles", "googletest")
+
+
+def find_clang_tidy(explicit):
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    if os.environ.get("CLANG_TIDY"):
+        candidates.append(os.environ["CLANG_TIDY"])
+    candidates.append("clang-tidy")
+    candidates.extend(f"clang-tidy-{v}" for v in range(18, 13, -1))
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_database(build_dir):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        sys.exit(
+            f"error: {db_path} not found; configure first "
+            f"(cmake -B {build_dir} -S . exports it by default)"
+        )
+    with open(db_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def first_party_sources(database, root, restrict):
+    sources = []
+    for entry in database:
+        source = pathlib.Path(entry["file"])
+        if not source.is_absolute():
+            source = pathlib.Path(entry["directory"]) / source
+        source = source.resolve()
+        try:
+            rel = source.relative_to(root)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] not in FIRST_PARTY_DIRS:
+            continue
+        if any(part in EXCLUDE_PARTS for part in rel.parts):
+            continue
+        if "lint_fixtures" in rel.parts:
+            continue  # deliberately bad code, exercised by rankties_lint
+        if restrict and not any(
+            rel == r or r in rel.parents for r in restrict
+        ):
+            continue
+        sources.append(source)
+    return sorted(set(sources))
+
+
+def run_one(clang_tidy, build_dir, source):
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", str(source)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    # clang-tidy prints "N warnings generated" chatter on stderr even for
+    # clean files; only stdout diagnostics and the exit code matter.
+    return source, proc.returncode, proc.stdout.strip()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--clang-tidy", default=None)
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args()
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    build_dir = (root / args.build_dir).resolve()
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        print(
+            "error: no clang-tidy binary found (tried $CLANG_TIDY, PATH); "
+            "install clang-tidy or run this gate in CI",
+            file=sys.stderr,
+        )
+        return 2
+
+    restrict = [pathlib.PurePosixPath(p) for p in args.paths]
+    sources = first_party_sources(load_database(build_dir), root, restrict)
+    if not sources:
+        print("error: no first-party sources matched", file=sys.stderr)
+        return 2
+
+    print(f"clang-tidy: {clang_tidy}")
+    print(f"checking {len(sources)} translation units with {args.jobs} jobs")
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, clang_tidy, build_dir, s) for s in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            source, returncode, output = future.result()
+            rel = source.relative_to(root)
+            if returncode != 0 or output:
+                failures += 1
+                print(f"FAIL {rel}")
+                if output:
+                    print(output)
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        print(f"\nclang-tidy: {failures} translation unit(s) with findings")
+        return 1
+    print("\nclang-tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
