@@ -2,13 +2,25 @@
 // Proposition 6) even though their definition ranges over exponentially
 // many refinements. Times the polynomial algorithms against the exponential
 // brute force where the latter is feasible, then shows scaling.
+//
+// `bench_hausdorff --json` emits rankties-bench-v2 JSON for the CI FHaus
+// gate: it times the explicit Theorem 5 construction (eight sorts and fresh
+// allocations per pair) against the prepared joint-bucket-run kernel on the
+// same all-pairs workload, verifies the doubled values are bit-identical,
+// and reports the in-run speedup the bench-gate job enforces (>= 50x on the
+// gate-eligible records).
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.h"
 #include "core/hausdorff.h"
+#include "core/prepared.h"
+#include "gen/mallows.h"
 #include "gen/random_orders.h"
 #include "rank/refinement.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 
 namespace rankties {
@@ -44,8 +56,8 @@ void BruteVsPolynomial() {
 
 void Scaling() {
   std::printf("\n### polynomial-path scaling (per-call wall time)\n");
-  std::printf("%-8s %-16s %-16s %-16s\n", "n", "KHaus/Prop6 (ms)",
-              "KHaus/Thm5 (ms)", "FHaus/Thm5 (ms)");
+  std::printf("%-8s %-16s %-16s %-16s %-18s\n", "n", "KHaus/Prop6 (ms)",
+              "KHaus/Thm5 (ms)", "FHaus/Thm5 (ms)", "FHaus/prepared (ms)");
   for (std::size_t n : {256u, 1024u, 4096u, 16384u, 65536u}) {
     Rng rng(7 + n);
     const BucketOrder sigma = RandomFewValued(n, 6.0, rng);
@@ -60,14 +72,146 @@ void Scaling() {
     Stopwatch w3;
     for (int r = 0; r < reps; ++r) TwiceFHausdorff(sigma, tau);
     const double thm5f = w3.Millis() / reps;
-    std::printf("%-8zu %-16.3f %-16.3f %-16.3f\n", n, prop6, thm5k, thm5f);
+    const PreparedRanking ps(sigma);
+    const PreparedRanking pt(tau);
+    PairScratch scratch;
+    std::int64_t sink = TwiceFHausdorff(ps, pt, scratch);  // warm scratch
+    Stopwatch w4;
+    for (int r = 0; r < reps; ++r) sink += TwiceFHausdorff(ps, pt, scratch);
+    (void)sink;
+    const double prepared_f = w4.Millis() / reps;
+    std::printf("%-8zu %-16.3f %-16.3f %-16.3f %-18.4f\n", n, prop6, thm5k,
+                thm5f, prepared_f);
   }
+}
+
+// ---------------------------------------------------------------------------
+// --json mode: the Theorem 5 construction vs the prepared joint-bucket-run
+// kernel, per pair, for the CI FHaus speedup gate.
+
+std::vector<BucketOrder> MakeTiedLists(std::size_t m, std::size_t n,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  const Permutation center = Permutation::Random(n, rng);
+  std::vector<BucketOrder> lists;
+  lists.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Alternate tie structures so both joint-histogram modes get timed:
+    // quantized Mallows (few wide buckets) and few-valued attribute shapes.
+    if (i % 2 == 0) {
+      lists.push_back(QuantizedMallows(center, 0.7, 8, rng));
+    } else {
+      lists.push_back(RandomFewValued(n, 6.0, rng));
+    }
+  }
+  return lists;
+}
+
+int RunJsonMode() {
+  struct Case {
+    std::size_t m;
+    std::size_t n;
+    int reps;
+    bool gate_eligible;
+  };
+  // The gated case mirrors the checked-in BENCH_PR.json baseline shape
+  // (lists=64, n=1000); the small case tracks fixed overheads only.
+  const Case cases[] = {
+      {16, 512, 3, false},
+      {64, 1000, 2, true},
+  };
+  std::vector<benchjson::Record> records;
+  bool all_match = true;
+  for (const Case& c : cases) {
+    const std::vector<BucketOrder> lists =
+        MakeTiedLists(c.m, c.n, 9000 * c.m + c.n);
+    const std::size_t pairs = c.m * (c.m - 1) / 2;
+
+    std::vector<PreparedRanking> prepared;
+    prepared.reserve(c.m);
+    for (const BucketOrder& order : lists) prepared.emplace_back(order);
+    PairScratch scratch;
+
+    // Checksums double as the bit-identity verification: the doubled FHaus
+    // values are exact integers, so equal sums of equal-by-pair values is
+    // what the fuzz suite enforces pairwise; here a direct per-pair compare
+    // is cheap enough to do outright.
+    double legacy_seconds = 0.0;
+    double prepared_seconds = 0.0;
+    bool match = true;
+    for (int rep = 0; rep < c.reps; ++rep) {
+      Stopwatch legacy_watch;
+      std::int64_t legacy_sum = 0;
+      for (std::size_t i = 0; i < c.m; ++i) {
+        for (std::size_t j = i + 1; j < c.m; ++j) {
+          legacy_sum += TwiceFHausdorff(lists[i], lists[j]);
+        }
+      }
+      const double legacy_rep = legacy_watch.Seconds();
+
+      Stopwatch prepared_watch;
+      std::int64_t prepared_sum = 0;
+      for (std::size_t i = 0; i < c.m; ++i) {
+        for (std::size_t j = i + 1; j < c.m; ++j) {
+          prepared_sum += TwiceFHausdorff(prepared[i], prepared[j], scratch);
+        }
+      }
+      const double prepared_rep = prepared_watch.Seconds();
+
+      match = match && legacy_sum == prepared_sum;
+      if (rep == 0 || legacy_rep < legacy_seconds) legacy_seconds = legacy_rep;
+      if (rep == 0 || prepared_rep < prepared_seconds) {
+        prepared_seconds = prepared_rep;
+      }
+    }
+    // One explicit per-pair cross-check outside the timed region.
+    for (std::size_t i = 0; match && i < c.m; ++i) {
+      for (std::size_t j = i + 1; match && j < c.m; ++j) {
+        match = TwiceFHausdorff(lists[i], lists[j]) ==
+                TwiceFHausdorff(prepared[i], prepared[j], scratch);
+      }
+    }
+    all_match = all_match && match;
+
+    for (const bool is_prepared : {false, true}) {
+      const double seconds = is_prepared ? prepared_seconds : legacy_seconds;
+      benchjson::Record record;
+      record.Str("name", "fhaus_pair")
+          .Str("metric", "FHaus")
+          .Str("engine", is_prepared ? "prepared" : "theorem5")
+          .Str("simd", simd::LevelName(simd::ActiveLevel()))
+          .Int("lists", static_cast<long long>(c.m))
+          .Int("n", static_cast<long long>(c.n))
+          .Int("threads", 1)
+          .Num("seconds", seconds)
+          .Int("items", static_cast<long long>(pairs))
+          .Num("throughput", static_cast<double>(pairs) / seconds)
+          .Bool("gate_eligible", c.gate_eligible);
+      if (is_prepared) {
+        record.Num("speedup_vs_legacy", legacy_seconds / prepared_seconds)
+            .Bool("match_legacy", match);
+      }
+      records.push_back(record);
+    }
+  }
+
+  benchjson::WriteDocument(stdout, "bench_hausdorff", records);
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "bench_hausdorff: prepared FHaus kernel diverged from the "
+                 "Theorem 5 construction\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace rankties
 
-int main() {
+int main(int argc, char** argv) {
+  if (rankties::benchjson::HasFlag(argc, argv, "--json")) {
+    return rankties::RunJsonMode();
+  }
   std::printf("=== E2: Hausdorff metrics in polynomial time (Thm 5/Prop 6) "
               "===\n");
   std::printf("Paper claim: the max-min over exponentially many refinement\n"

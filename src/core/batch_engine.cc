@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/hausdorff.h"
 #include "core/prepared.h"
 #include "obs/obs.h"
 #include "util/checked_math.h"
@@ -57,14 +56,13 @@ std::vector<PreparedRanking> PrepareAll(
   return prepared;
 }
 
-// One metric evaluation on prepared inputs. FHaus has no prepared kernel
-// (the Theorem 5 construction materializes refinements), so it uses the
-// legacy BucketOrder pair; the prepared kinds never touch the heap on a
-// warm scratch. Argument order matches the legacy ComputeMetric call sites
-// exactly, keeping results bit-identical by construction.
+// One metric evaluation on prepared inputs; every kind — FHaus included,
+// via the joint-bucket-run decomposition of Theorem 5 — runs on the frozen
+// arrays and never touches the heap on a warm scratch. Argument order
+// matches the legacy ComputeMetric call sites exactly, keeping results
+// bit-identical by construction.
 double EvalPrepared(MetricKind kind, const PreparedRanking& prepared_sigma,
                     const PreparedRanking& prepared_tau,
-                    const BucketOrder& sigma, const BucketOrder& tau,
                     PairScratch& scratch) {
   switch (kind) {
     case MetricKind::kKprof:
@@ -75,7 +73,7 @@ double EvalPrepared(MetricKind kind, const PreparedRanking& prepared_sigma,
       return static_cast<double>(
           KHausdorff(prepared_sigma, prepared_tau, scratch));
     case MetricKind::kFHaus:
-      return FHausdorff(sigma, tau);
+      return FHausdorff(prepared_sigma, prepared_tau, scratch);
   }
   return 0.0;  // unreachable; keeps -Wreturn-type quiet
 }
@@ -153,8 +151,8 @@ std::vector<std::vector<double>> DistanceMatrix(
       RANKTIES_DCHECK(j_begin < m);
       for (std::size_t i = a * tile; i < i_end; ++i) {
         for (std::size_t j = std::max(j_begin, i + 1); j < j_end; ++j) {
-          const double d = EvalPrepared(kind, prepared[i], prepared[j],
-                                        lists[i], lists[j], scratch);
+          const double d =
+              EvalPrepared(kind, prepared[i], prepared[j], scratch);
           matrix[i][j] = d;
           matrix[j][i] = d;
         }
@@ -216,9 +214,8 @@ std::vector<double> DistancesToAll(MetricKind kind,
                 obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
                 PairScratch& scratch = ThreadScratch();
                 for (std::size_t j = lo; j < hi; ++j) {
-                  distances[j] =
-                      EvalPrepared(kind, prepared_candidate, prepared[j],
-                                   candidate, lists[j], scratch);
+                  distances[j] = EvalPrepared(kind, prepared_candidate,
+                                              prepared[j], scratch);
                 }
               });
   return distances;
@@ -260,8 +257,7 @@ StatusOr<BestCandidateResult> BestOfCandidates(
                   const std::size_t ci = t / l;
                   const std::size_t j = t % l;
                   grid[t] = EvalPrepared(kind, prepared_candidates[ci],
-                                         prepared_lists[j], candidates[ci],
-                                         lists[j], scratch);
+                                         prepared_lists[j], scratch);
                 }
               });
 

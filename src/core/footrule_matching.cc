@@ -1,7 +1,9 @@
 #include "core/footrule_matching.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
 
 #include "util/combinatorics.h"
 
@@ -73,6 +75,60 @@ StatusOr<AssignmentResult> MinCostAssignment(
   return result;
 }
 
+StatusOr<AssignmentResult> StructuredSlotAssignment(
+    const std::vector<std::int64_t>& element_pos,
+    const std::vector<std::int64_t>& slot_pos) {
+  const std::size_t n = element_pos.size();
+  if (n == 0) return Status::InvalidArgument("empty instance");
+  if (slot_pos.size() != n) {
+    return Status::InvalidArgument("element/slot counts differ");
+  }
+  for (std::size_t c = 1; c < n; ++c) {
+    if (slot_pos[c] < slot_pos[c - 1]) {
+      return Status::InvalidArgument(
+          "slot positions not non-decreasing; use MinCostAssignment");
+    }
+  }
+  // Exchange argument: crossing pairs (a <= a' matched to b' >= b matched
+  // to a') never beat the uncrossed matching under |.|, so sorting elements
+  // by position and pairing them with the already-sorted slots in order is
+  // optimal. Ties broken by element id so the result is deterministic.
+  std::vector<std::size_t> by_pos(n);
+  std::iota(by_pos.begin(), by_pos.end(), 0);
+  std::sort(by_pos.begin(), by_pos.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (element_pos[a] != element_pos[b]) {
+                return element_pos[a] < element_pos[b];
+              }
+              return a < b;
+            });
+  AssignmentResult result;
+  result.column_of_row.assign(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t e = by_pos[k];
+    result.column_of_row[e] = k;
+    result.total_cost += std::abs(element_pos[e] - slot_pos[k]);
+  }
+  return result;
+}
+
+namespace {
+
+// The m == 1 fast path shared by FootruleOptimalOfType and
+// FootruleOptimalFull: a single input makes every row cost
+// |2 sigma(e) - slot position|, exactly the structured shape.
+StatusOr<AssignmentResult> SingleInputAssignment(
+    const BucketOrder& input, const std::vector<std::int64_t>& slot_pos) {
+  const std::size_t n = input.n();
+  std::vector<std::int64_t> element_pos(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    element_pos[e] = input.TwicePosition(static_cast<ElementId>(e));
+  }
+  return StructuredSlotAssignment(element_pos, slot_pos);
+}
+
+}  // namespace
+
 StatusOr<FootruleOptimalTypedResult> FootruleOptimalOfType(
     const std::vector<BucketOrder>& inputs,
     const std::vector<std::size_t>& alpha) {
@@ -110,18 +166,28 @@ StatusOr<FootruleOptimalTypedResult> FootruleOptimalOfType(
       before += size;
     }
   }
-  std::vector<std::vector<std::int64_t>> cost(n,
-                                              std::vector<std::int64_t>(n, 0));
-  for (const BucketOrder& input : inputs) {
-    for (std::size_t e = 0; e < n; ++e) {
-      const std::int64_t twice_pos =
-          input.TwicePosition(static_cast<ElementId>(e));
-      for (std::size_t c = 0; c < n; ++c) {
-        cost[e][c] += std::abs(twice_pos - slot_twice_pos[c]);
+  // Single input: the slot positions are non-decreasing by construction, so
+  // the structured monotone solver replaces the O(n^3) Hungarian run. With
+  // several inputs the row costs are sums of absolute deviations (not a
+  // single |a - b|), so the general matcher remains the solver.
+  StatusOr<AssignmentResult> assignment =
+      inputs.size() == 1
+          ? SingleInputAssignment(inputs.front(), slot_twice_pos)
+          : Status::InvalidArgument("multi-input instance is unstructured");
+  if (!assignment.ok()) {
+    std::vector<std::vector<std::int64_t>> cost(
+        n, std::vector<std::int64_t>(n, 0));
+    for (const BucketOrder& input : inputs) {
+      for (std::size_t e = 0; e < n; ++e) {
+        const std::int64_t twice_pos =
+            input.TwicePosition(static_cast<ElementId>(e));
+        for (std::size_t c = 0; c < n; ++c) {
+          cost[e][c] += std::abs(twice_pos - slot_twice_pos[c]);
+        }
       }
     }
+    assignment = MinCostAssignment(cost);
   }
-  StatusOr<AssignmentResult> assignment = MinCostAssignment(cost);
   if (!assignment.ok()) return assignment.status();
   std::vector<BucketIndex> bucket_of(n);
   for (std::size_t e = 0; e < n; ++e) {
@@ -187,20 +253,33 @@ StatusOr<FootruleOptimalResult> FootruleOptimalFull(
       return Status::InvalidArgument("input domain sizes differ");
     }
   }
-  // cost[e][r] = sum_i |2 sigma_i(e) - 2(r+1)|.
-  std::vector<std::vector<std::int64_t>> cost(
-      n, std::vector<std::int64_t>(n, 0));
-  for (const BucketOrder& input : inputs) {
-    for (std::size_t e = 0; e < n; ++e) {
-      const std::int64_t twice_pos =
-          input.TwicePosition(static_cast<ElementId>(e));
-      for (std::size_t r = 0; r < n; ++r) {
-        cost[e][r] +=
-            std::abs(twice_pos - 2 * static_cast<std::int64_t>(r + 1));
+  // Slot r (0-based) is rank r+1 with doubled position 2(r+1) — strictly
+  // increasing, so single-input instances are structured.
+  StatusOr<AssignmentResult> assignment =
+      Status::InvalidArgument("multi-input instance is unstructured");
+  if (inputs.size() == 1) {
+    std::vector<std::int64_t> slot_pos(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      slot_pos[r] = 2 * static_cast<std::int64_t>(r + 1);
+    }
+    assignment = SingleInputAssignment(inputs.front(), slot_pos);
+  }
+  if (!assignment.ok()) {
+    // cost[e][r] = sum_i |2 sigma_i(e) - 2(r+1)|.
+    std::vector<std::vector<std::int64_t>> cost(
+        n, std::vector<std::int64_t>(n, 0));
+    for (const BucketOrder& input : inputs) {
+      for (std::size_t e = 0; e < n; ++e) {
+        const std::int64_t twice_pos =
+            input.TwicePosition(static_cast<ElementId>(e));
+        for (std::size_t r = 0; r < n; ++r) {
+          cost[e][r] +=
+              std::abs(twice_pos - 2 * static_cast<std::int64_t>(r + 1));
+        }
       }
     }
+    assignment = MinCostAssignment(cost);
   }
-  StatusOr<AssignmentResult> assignment = MinCostAssignment(cost);
   if (!assignment.ok()) return assignment.status();
   std::vector<ElementId> ranks(n);
   for (std::size_t e = 0; e < n; ++e) {

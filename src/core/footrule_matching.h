@@ -21,12 +21,32 @@ struct AssignmentResult {
 StatusOr<AssignmentResult> MinCostAssignment(
     const std::vector<std::vector<std::int64_t>>& cost);
 
+/// Structured solver for the footrule slot-assignment instances that arise
+/// from refinement extremes and typed aggregation over a *single* input:
+/// cost(e, c) = |element_pos[e] - slot_pos[c]| with slot_pos non-decreasing
+/// (slots are bucket runs listed front bucket first, so each bucket
+/// contributes a run of identical positions). By the L1 exchange argument
+/// — for a <= a' and b <= b', |a-b| + |a'-b'| <= |a-b'| + |a'-b| — some
+/// optimal assignment is monotone, so sorting the elements by position and
+/// matching them to the slots in order is exact. O(n log n), versus the
+/// O(n^3) general matcher; total cost equal to MinCostAssignment on the
+/// induced matrix (the assignment itself may differ among equal-cost
+/// optima; ties are broken by element id for determinism).
+///
+/// Fails (so callers can fall back to the general matcher) when the
+/// instance is not structured: empty, size-mismatched, or slot positions
+/// not non-decreasing.
+StatusOr<AssignmentResult> StructuredSlotAssignment(
+    const std::vector<std::int64_t>& element_pos,
+    const std::vector<std::int64_t>& slot_pos);
+
 /// The *exact* optimal full-ranking aggregation under the footrule objective
 /// sum_i F(pi, sigma_i) (paper footnote 4): place element e at 1-based
 /// position r with cost sum_i |2 sigma_i(e) - 2r| and solve the assignment
 /// problem. This is the expensive exact baseline the median-rank algorithm
 /// is compared against (Theorem 11 proves median is within factor 2 of it
-/// for full-ranking inputs). O(n^3 + m n^2).
+/// for full-ranking inputs). O(n^3 + m n^2); single-input instances take
+/// the StructuredSlotAssignment path in O(n log n).
 struct FootruleOptimalResult {
   Permutation ranking;
   std::int64_t twice_total_cost = 0;  ///< 2 * sum_i Fprof(pi, sigma_i)
@@ -38,7 +58,8 @@ StatusOr<FootruleOptimalResult> FootruleOptimalFull(
 /// type-alpha bucket order has fixed bucket positions, so assigning
 /// elements to position slots (bucket b contributing |b| identical slots)
 /// is again a min-cost assignment. This is the exact yardstick behind
-/// Corollary 30's factor-3 claim. O(n^3 + m n^2).
+/// Corollary 30's factor-3 claim. O(n^3 + m n^2); single-input instances
+/// take the StructuredSlotAssignment path in O(n log n).
 struct FootruleOptimalTypedResult {
   BucketOrder order;
   std::int64_t twice_total_cost = 0;

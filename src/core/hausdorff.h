@@ -31,7 +31,11 @@ std::int64_t KHausdorffTheorem5(const BucketOrder& sigma,
 
 /// FHaus (paper §3.2) through Theorem 5. There is no direct count formula
 /// for FHaus in the paper; the construction is the algorithm. Exact doubled
-/// value (full-ranking footrule is integral, so this is just 2*F). O(n log n).
+/// value (full-ranking footrule is integral, so this is just 2*F). O(n log n)
+/// with eight sorts and per-pair allocations: the batch engine instead uses
+/// the allocation-free joint-bucket-run kernel on prepared rankings
+/// (core/prepared.h), and this explicit construction stays in-tree as the
+/// independently-derived oracle the kernel is fuzzed against.
 std::int64_t TwiceFHausdorff(const BucketOrder& sigma, const BucketOrder& tau);
 
 /// FHaus as a double.

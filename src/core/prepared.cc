@@ -8,6 +8,7 @@
 #include "obs/obs.h"
 #include "util/checked_math.h"
 #include "util/contracts.h"
+#include "util/simd.h"
 
 namespace rankties {
 
@@ -93,6 +94,7 @@ void PairScratch::Reserve(std::size_t n, std::size_t buckets) {
     joint_counts_.resize(product, 0);
   }
   if (joint_keys_.capacity() < n) joint_keys_.reserve(n);
+  if (keys32_.capacity() < n) keys32_.reserve(n);
 }
 
 PairCounts ComputePairCounts(const PreparedRanking& sigma,
@@ -129,11 +131,20 @@ PairCounts ComputePairCounts(const PreparedRanking& sigma,
       scratch.fenwick_.resize(t_tau + 1);
       scratch_grew = true;
     }
+    // Key computation is SIMD-dispatched (util/simd.h): stage the int32 keys
+    // (the flat key space is capped at 2^20, so they fit), then scatter the
+    // increments serially — the histogram write is the inherently scalar
+    // half of the fused scan.
+    if (scratch.keys32_.capacity() < n) {
+      scratch.keys32_.reserve(n);
+      scratch_grew = true;
+    }
+    scratch.keys32_.resize(n);
+    simd::JointKeys32(sigma_of.data(), tau_of.data(), n,
+                      static_cast<std::int32_t>(t_tau),
+                      scratch.keys32_.data());
     for (std::size_t e = 0; e < n; ++e) {
-      const std::size_t key =
-          static_cast<std::size_t>(sigma_of[e]) * t_tau +
-          static_cast<std::size_t>(tau_of[e]);
-      ++scratch.joint_counts_[key];
+      ++scratch.joint_counts_[static_cast<std::size_t>(scratch.keys32_[e])];
     }
     std::int64_t* const prefix = scratch.fenwick_.data();  // plain array here
     std::fill(prefix, prefix + t_tau, 0);
@@ -265,15 +276,147 @@ std::int64_t TwiceFprof(const PreparedRanking& sigma,
   RANKTIES_DCHECK(sigma.n() == tau.n());
   const std::vector<std::int64_t>& a = sigma.twice_position();
   const std::vector<std::int64_t>& b = tau.twice_position();
-  std::int64_t total = 0;
-  for (std::size_t e = 0; e < a.size(); ++e) {
-    total += std::abs(a[e] - b[e]);
-  }
-  return total;
+  return simd::AbsDiffSumI64(a.data(), b.data(), a.size());
 }
 
 double Fprof(const PreparedRanking& sigma, const PreparedRanking& tau) {
   return static_cast<double>(TwiceFprof(sigma, tau)) / 2.0;
+}
+
+std::int64_t TwiceFHausdorff(const PreparedRanking& sigma,
+                             const PreparedRanking& tau,
+                             PairScratch& scratch) {
+  RANKTIES_DCHECK(sigma.n() == tau.n());
+  const std::size_t n = sigma.n();
+  if (n < 2) return 0;  // no displacement on a degenerate universe
+
+  // Theorem 5's two candidate refinement pairs, without materializing them.
+  // With rho = identity, the four permutations rank elements by
+  //   sigma1: (sigma bucket asc, tau bucket desc, id asc)
+  //   tau1:   (tau bucket asc, sigma bucket asc, id asc)
+  //   sigma2: (sigma bucket asc, tau bucket asc, id asc)
+  //   tau2:   (tau bucket asc, sigma bucket desc, id asc)
+  // (rank/refinement.cc's TauRefine/TauRefineFull sort exactly these keys).
+  // Within any joint bucket cell (s, t) each order lists the cell's
+  // elements in ascending id, so the rank displacement |rank_sigma_k(e) -
+  // rank_tau_k(e)| is one constant per cell and each candidate footrule is
+  // a sum of cnt(s, t) * |displacement(s, t)| over occupied cells. The
+  // displacements need only the cell count, the frozen bucket offsets of
+  // both sides, and two running prefixes maintained by a row-major sweep:
+  // row_before (elements of row s in earlier columns) and col_before[t]
+  // (elements of column t in earlier rows).
+  const std::size_t t_sigma = sigma.num_buckets();
+  const std::size_t t_tau = tau.num_buckets();
+  const std::vector<std::size_t>& sigma_off = sigma.bucket_offset();
+  const std::vector<std::size_t>& tau_off = tau.bucket_offset();
+  const std::vector<BucketIndex>& sigma_of = sigma.bucket_of();
+  const std::vector<BucketIndex>& tau_of = tau.bucket_of();
+
+  bool scratch_grew = false;
+  if (scratch.fenwick_.size() < t_tau + 1) {
+    scratch.fenwick_.resize(t_tau + 1);
+    scratch_grew = true;
+  }
+  std::int64_t* const col_before = scratch.fenwick_.data();  // plain array
+  std::fill(col_before, col_before + t_tau, 0);
+
+  std::int64_t f1 = 0;
+  std::int64_t f2 = 0;
+  const auto add_cell = [&](std::size_t s, std::size_t t, std::int64_t c,
+                            std::int64_t row_before) {
+    const std::int64_t before_s = static_cast<std::int64_t>(sigma_off[s]);
+    const std::int64_t row_total =
+        static_cast<std::int64_t>(sigma_off[s + 1]) - before_s;
+    const std::int64_t before_t = static_cast<std::int64_t>(tau_off[t]);
+    const std::int64_t col_total =
+        static_cast<std::int64_t>(tau_off[t + 1]) - before_t;
+    const std::int64_t d1 = (before_s + row_total - row_before - c) -
+                            (before_t + col_before[t]);
+    const std::int64_t d2 = (before_s + row_before) -
+                            (before_t + col_total - col_before[t] - c);
+    f1 += c * (d1 < 0 ? -d1 : d1);
+    f2 += c * (d2 < 0 ? -d2 : d2);
+    col_before[t] += c;
+  };
+
+  const std::size_t product = t_sigma * t_tau;
+  if (UseFlatJoint(n, product)) {
+    // Same flat joint histogram as ComputePairCounts (SIMD-staged keys,
+    // cells re-zeroed as the sweep consumes them).
+    RANKTIES_DCHECK(JointCountsAllZero(scratch.joint_counts_, product));
+    if (scratch.joint_counts_.size() < product) {
+      scratch.joint_counts_.resize(product, 0);
+      scratch_grew = true;
+    }
+    if (scratch.keys32_.capacity() < n) {
+      scratch.keys32_.reserve(n);
+      scratch_grew = true;
+    }
+    scratch.keys32_.resize(n);
+    simd::JointKeys32(sigma_of.data(), tau_of.data(), n,
+                      static_cast<std::int32_t>(t_tau),
+                      scratch.keys32_.data());
+    for (std::size_t e = 0; e < n; ++e) {
+      ++scratch.joint_counts_[static_cast<std::size_t>(scratch.keys32_[e])];
+    }
+    for (std::size_t s = 0; s < t_sigma; ++s) {
+      std::int64_t* const row = scratch.joint_counts_.data() + s * t_tau;
+      std::int64_t row_before = 0;
+      for (std::size_t t = 0; t < t_tau; ++t) {
+        const std::int64_t c = row[t];
+        if (c != 0) {
+          add_cell(s, t, c, row_before);
+          row_before += c;
+          row[t] = 0;
+        }
+      }
+    }
+  } else {
+    // Key space too large for a flat buffer: sort the n joint keys and walk
+    // the runs — sorted order is exactly the row-major cell sweep.
+    if (scratch.joint_keys_.capacity() < n) {
+      scratch.joint_keys_.reserve(n);
+      scratch_grew = true;
+    }
+    scratch.joint_keys_.resize(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      scratch.joint_keys_[e] = static_cast<std::int64_t>(sigma_of[e]) *
+                                   static_cast<std::int64_t>(t_tau) +
+                               tau_of[e];
+    }
+    std::sort(scratch.joint_keys_.begin(), scratch.joint_keys_.end());
+    std::size_t prev_s = t_sigma;  // sentinel: no row processed yet
+    std::int64_t row_before = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && scratch.joint_keys_[j] == scratch.joint_keys_[i]) ++j;
+      const std::int64_t key = scratch.joint_keys_[i];
+      const std::size_t s =
+          static_cast<std::size_t>(key) / t_tau;
+      const std::size_t t =
+          static_cast<std::size_t>(key) % t_tau;
+      if (s != prev_s) {
+        row_before = 0;
+        prev_s = s;
+      }
+      const std::int64_t c = static_cast<std::int64_t>(j - i);
+      add_cell(s, t, c, row_before);
+      row_before += c;
+      i = j;
+    }
+  }
+  if (scratch_grew) {
+    RANKTIES_OBS_COUNT("prepared.scratch_grows", 1);
+  } else {
+    RANKTIES_OBS_COUNT("prepared.scratch_reuse_hits", 1);
+  }
+  return 2 * std::max(f1, f2);
+}
+
+double FHausdorff(const PreparedRanking& sigma, const PreparedRanking& tau,
+                  PairScratch& scratch) {
+  return static_cast<double>(TwiceFHausdorff(sigma, tau, scratch)) / 2.0;
 }
 
 }  // namespace rankties

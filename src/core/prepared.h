@@ -111,9 +111,13 @@ class PairScratch {
   friend PairCounts ComputePairCounts(const PreparedRanking& sigma,
                                       const PreparedRanking& tau,
                                       PairScratch& scratch);
+  friend std::int64_t TwiceFHausdorff(const PreparedRanking& sigma,
+                                      const PreparedRanking& tau,
+                                      PairScratch& scratch);
 
   // Per-tau-bucket accumulator: a plain prefix array in flat-histogram
-  // mode, a Fenwick tree (slot 0 unused) in the sorted fallback.
+  // mode, a Fenwick tree (slot 0 unused) in the sorted fallback; the FHaus
+  // kernel reuses it as the per-tau-bucket column-prefix array.
   std::vector<std::int64_t> fenwick_;
   // Flat joint histogram, indexed sigma_bucket * t_tau + tau_bucket; cells
   // are re-zeroed as the row scan consumes them, so all entries are zero
@@ -122,6 +126,9 @@ class PairScratch {
   // Fallback buffer for the sort-and-run-count joint histogram used when
   // t_sigma * t_tau is large relative to n.
   std::vector<std::int64_t> joint_keys_;
+  // Staging buffer for the SIMD joint-key computation in flat-histogram
+  // mode (keys fit in int32 there: the key space is capped at 2^20).
+  std::vector<std::int32_t> keys32_;
 };
 
 /// Pair classification on two prepared rankings — the same five counts as
@@ -158,14 +165,35 @@ class PairScratch {
                                       PairScratch& scratch);
 
 /// 2*Fprof as a straight L1 walk over the two frozen doubled-position
-/// vectors; allocation-free (needs no scratch), bit-identical to
-/// TwiceFprof(BucketOrder, BucketOrder).
+/// vectors (SIMD-dispatched, util/simd.h); allocation-free (needs no
+/// scratch), bit-identical to TwiceFprof(BucketOrder, BucketOrder).
 [[nodiscard]] std::int64_t TwiceFprof(const PreparedRanking& sigma,
                                       const PreparedRanking& tau);
 
 /// Fprof as a double, matching Fprof(BucketOrder, BucketOrder) exactly.
 [[nodiscard]] double Fprof(const PreparedRanking& sigma,
                            const PreparedRanking& tau);
+
+/// 2*FHaus via the joint-bucket-run decomposition of the Theorem 5
+/// construction — the structured replacement for materializing the four
+/// refinement permutations per pair. In each of Theorem 5's two candidate
+/// pairs, every element of a joint bucket cell (s, t) appears in ascending
+/// id order on *both* sides, so the per-element rank displacement is
+/// constant across the cell and each candidate footrule collapses to a sum
+/// of cnt(s, t) * |cell displacement| over the occupied cells (derivation
+/// in DESIGN.md §7). O(n + t_sigma*t_tau) in flat-histogram mode,
+/// O(n log n) in the sorted fallback; zero allocations on a warm scratch;
+/// bit-identical to TwiceFHausdorff(BucketOrder, BucketOrder), which stays
+/// in-tree as the independently-constructed oracle.
+[[nodiscard]] std::int64_t TwiceFHausdorff(const PreparedRanking& sigma,
+                                           const PreparedRanking& tau,
+                                           PairScratch& scratch);
+
+/// FHaus as a double, matching FHausdorff(BucketOrder, BucketOrder)
+/// exactly.
+[[nodiscard]] double FHausdorff(const PreparedRanking& sigma,
+                                const PreparedRanking& tau,
+                                PairScratch& scratch);
 
 }  // namespace rankties
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
 #include "core/batch_engine.h"
 #include "core/footrule.h"
+#include "core/footrule_matching.h"
 #include "core/hausdorff.h"
 #include "core/kendall.h"
 #include "core/metric_registry.h"
@@ -117,9 +119,81 @@ void CheckDifferential(const FuzzCase& c, const DriverOptions& options,
              KHausdorff(sigma, tau), stats);
     ExpectEq(c, "prepared-Fprof", TwiceFprof(ps, pt),
              TwiceFprof(sigma, tau), stats);
+    ExpectEq(c, "prepared-FHaus", TwiceFHausdorff(ps, pt, scratch),
+             TwiceFHausdorff(sigma, tau), stats);
     for (double p : kPenaltyGrid) {
       ExpectEq(c, "prepared-KendallP", KendallP(ps, pt, p, scratch),
                KendallP(sigma, tau, p), stats);
+    }
+  }
+
+  // The structured O(n log n) slot-assignment solver against the general
+  // Hungarian matcher, on the typed footrule instance induced by
+  // (sigma, type(rho)): slot c of a type-alpha order is a bucket run at a
+  // fixed twice-position, element e sits at sigma's twice-position, and the
+  // cost is |element_pos - slot_pos|. The Hungarian cross-check is O(n^3),
+  // so gate by n to keep the fuzz loop fast.
+  if (sigma.n() >= 1 && sigma.n() <= 24) {
+    const std::size_t n = sigma.n();
+    std::vector<std::int64_t> element_pos(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      element_pos[e] = sigma.TwicePosition(static_cast<ElementId>(e));
+    }
+    std::vector<std::int64_t> slot_pos;
+    slot_pos.reserve(n);
+    std::int64_t before = 0;
+    for (std::size_t size : c.rho.Type()) {
+      const std::int64_t twice_pos =
+          2 * before + static_cast<std::int64_t>(size) + 1;
+      for (std::size_t s = 0; s < size; ++s) slot_pos.push_back(twice_pos);
+      before += static_cast<std::int64_t>(size);
+    }
+    const StatusOr<AssignmentResult> structured =
+        StructuredSlotAssignment(element_pos, slot_pos);
+    ++stats->comparisons;
+    if (!structured.ok()) {
+      Fail(c, "structured-matcher-status", structured.status().message(),
+           stats);
+    } else {
+      std::vector<std::vector<std::int64_t>> cost(
+          n, std::vector<std::int64_t>(n, 0));
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t col = 0; col < n; ++col) {
+          cost[r][col] = std::abs(element_pos[r] - slot_pos[col]);
+        }
+      }
+      const StatusOr<AssignmentResult> general = MinCostAssignment(cost);
+      ++stats->comparisons;
+      if (!general.ok()) {
+        Fail(c, "structured-matcher-hungarian", general.status().message(),
+             stats);
+      } else {
+        ExpectEq(c, "structured-vs-hungarian-cost",
+                 structured.value().total_cost, general.value().total_cost,
+                 stats);
+        // The structured assignment must itself be a valid permutation
+        // whose induced cost matches its reported total.
+        std::vector<bool> used(n, false);
+        std::int64_t recomputed = 0;
+        bool valid = structured.value().column_of_row.size() == n;
+        for (std::size_t r = 0; valid && r < n; ++r) {
+          const std::size_t col = structured.value().column_of_row[r];
+          if (col >= n || used[col]) {
+            valid = false;
+            break;
+          }
+          used[col] = true;
+          recomputed += cost[r][col];
+        }
+        ++stats->comparisons;
+        if (!valid) {
+          Fail(c, "structured-matcher-permutation",
+               "column_of_row is not a permutation", stats);
+        } else {
+          ExpectEq(c, "structured-matcher-cost-consistency", recomputed,
+                   structured.value().total_cost, stats);
+        }
+      }
     }
   }
 }

@@ -30,7 +30,11 @@ struct CheckStats {
 };
 
 /// Differential pass: optimized Kprof/Fprof/K^(p)/KHaus/FHaus (plus the
-/// Theorem 5 construction) against the src/ref oracle.
+/// Theorem 5 construction) against the src/ref oracle; the zero-allocation
+/// prepared kernels (FHaus joint-run decomposition included) against the
+/// legacy BucketOrder paths; and the structured O(n log n) slot-assignment
+/// solver against the general Hungarian matcher on the typed footrule
+/// instance induced by (sigma, type(rho)).
 void CheckDifferential(const FuzzCase& c, const DriverOptions& options,
                        CheckStats* stats);
 

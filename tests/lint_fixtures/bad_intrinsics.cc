@@ -1,0 +1,19 @@
+// rankties-lint-fixture: expect RT006
+// Raw vector intrinsics outside src/util/simd.h bypass the runtime
+// dispatch contract: no scalar twin, no RANKTIES_NO_AVX2 override, no
+// guarantee the CI scalar matrix leg covers the code path.
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace rankties {
+
+std::int64_t SumLanes(const std::int64_t* values) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values));
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace rankties

@@ -84,6 +84,8 @@ void ExpectPreparedMatchesLegacy(const BucketOrder& sigma,
   EXPECT_EQ(KHausdorff(ps, pt, scratch), KHausdorff(sigma, tau));
   EXPECT_EQ(TwiceFprof(ps, pt), TwiceFprof(sigma, tau));
   EXPECT_EQ(Fprof(ps, pt), Fprof(sigma, tau));
+  EXPECT_EQ(TwiceFHausdorff(ps, pt, scratch), TwiceFHausdorff(sigma, tau));
+  EXPECT_EQ(FHausdorff(ps, pt, scratch), FHausdorff(sigma, tau));
   for (const double p : {0.0, 0.25, 0.5, 1.0}) {
     EXPECT_EQ(KendallP(ps, pt, p, scratch), KendallP(sigma, tau, p));
   }
@@ -122,6 +124,7 @@ TEST(PreparedRankingTest, DefaultAndDegenerateDomains) {
   EXPECT_EQ(TwiceKprof(one, one, scratch), 0);
   EXPECT_EQ(KHausdorff(one, one, scratch), 0);
   EXPECT_EQ(TwiceFprof(one, one), 0);
+  EXPECT_EQ(TwiceFHausdorff(one, one, scratch), 0);
 }
 
 TEST(PreparedKernelsTest, MatchLegacyOnRandomizedPairs) {
@@ -208,6 +211,7 @@ TEST(PreparedKernelsTest, WarmKernelsPerformZeroHeapAllocations) {
       checksum += TwiceKprof(prepared[i], prepared[j], scratch);
       checksum += KHausdorff(prepared[i], prepared[j], scratch);
       checksum += TwiceFprof(prepared[i], prepared[j]);
+      checksum += TwiceFHausdorff(prepared[i], prepared[j], scratch);
     }
   }
 
@@ -219,6 +223,7 @@ TEST(PreparedKernelsTest, WarmKernelsPerformZeroHeapAllocations) {
       counted += TwiceKprof(prepared[i], prepared[j], scratch);
       counted += KHausdorff(prepared[i], prepared[j], scratch);
       counted += TwiceFprof(prepared[i], prepared[j]);
+      counted += TwiceFHausdorff(prepared[i], prepared[j], scratch);
     }
   }
   g_count_allocations = false;

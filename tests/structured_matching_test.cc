@@ -1,0 +1,201 @@
+#include "core/footrule_matching.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "core/footrule.h"
+#include "gen/random_orders.h"
+#include "rank/bucket_order.h"
+#include "rank/permutation.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+std::vector<std::vector<std::int64_t>> InducedCostMatrix(
+    const std::vector<std::int64_t>& element_pos,
+    const std::vector<std::int64_t>& slot_pos) {
+  const std::size_t n = element_pos.size();
+  std::vector<std::vector<std::int64_t>> cost(
+      n, std::vector<std::int64_t>(n, 0));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      cost[r][c] = std::abs(element_pos[r] - slot_pos[c]);
+    }
+  }
+  return cost;
+}
+
+// Slot positions of a type-alpha bucket order: bucket b of size s occupying
+// positions before+1 .. before+s contributes s slots at doubled position
+// 2*before + s + 1.
+std::vector<std::int64_t> SlotPositionsOfType(
+    const std::vector<std::size_t>& alpha) {
+  std::vector<std::int64_t> slot_pos;
+  std::int64_t before = 0;
+  for (const std::size_t size : alpha) {
+    const std::int64_t twice_pos =
+        2 * before + static_cast<std::int64_t>(size) + 1;
+    for (std::size_t s = 0; s < size; ++s) slot_pos.push_back(twice_pos);
+    before += static_cast<std::int64_t>(size);
+  }
+  return slot_pos;
+}
+
+TEST(StructuredSlotAssignmentTest, SingletonBucketsHandComputed) {
+  // Elements at doubled positions 4, 2, 8 against full-ranking slots
+  // 2, 4, 6: sorted matching is e1->2, e0->4, e2->6, cost 0 + 0 + 2.
+  const auto result = StructuredSlotAssignment({4, 2, 8}, {2, 4, 6});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->total_cost, 2);
+  EXPECT_EQ(result->column_of_row, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(StructuredSlotAssignmentTest, PerfectMatchCostsZero) {
+  const auto result = StructuredSlotAssignment({6, 2, 4}, {2, 4, 6});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->total_cost, 0);
+  EXPECT_EQ(result->column_of_row, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(StructuredSlotAssignmentTest, OneGiantTieBucket) {
+  // A single bucket of 4 puts every slot at doubled position 5; any
+  // permutation is optimal with cost sum |pos - 5| = 3 + 1 + 1 + 3.
+  const std::vector<std::int64_t> element_pos = {2, 4, 6, 8};
+  const std::vector<std::int64_t> slot_pos = SlotPositionsOfType({4});
+  EXPECT_EQ(slot_pos, (std::vector<std::int64_t>{5, 5, 5, 5}));
+  const auto result = StructuredSlotAssignment(element_pos, slot_pos);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->total_cost, 8);
+}
+
+TEST(StructuredSlotAssignmentTest, AlternatingRunsHandComputed) {
+  // Type (2, 1, 2) over n = 5: slots at 3, 3, 6, 9, 9. Elements already in
+  // slot order cost |2-3| + |4-3| + |6-6| + |8-9| + |10-9| = 4.
+  const std::vector<std::int64_t> slot_pos = SlotPositionsOfType({2, 1, 2});
+  EXPECT_EQ(slot_pos, (std::vector<std::int64_t>{3, 3, 6, 9, 9}));
+  const auto result =
+      StructuredSlotAssignment({2, 4, 6, 8, 10}, slot_pos);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->total_cost, 4);
+  EXPECT_EQ(result->column_of_row,
+            (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(StructuredSlotAssignmentTest, TiedElementsBreakByIdDeterministically) {
+  // Three elements tied at doubled position 4 (one bucket of 3 in the
+  // source): ids fill the slots in increasing order.
+  const auto result = StructuredSlotAssignment({4, 4, 4}, {2, 4, 6});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->column_of_row, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(result->total_cost, 4);
+}
+
+TEST(StructuredSlotAssignmentTest, RejectsUnstructuredInstances) {
+  EXPECT_FALSE(StructuredSlotAssignment({}, {}).ok());
+  EXPECT_FALSE(StructuredSlotAssignment({1, 2}, {1}).ok());
+  // Decreasing slot positions are not a structured instance; callers fall
+  // back to the general matcher.
+  EXPECT_FALSE(StructuredSlotAssignment({1, 2}, {4, 2}).ok());
+}
+
+TEST(StructuredSlotAssignmentTest, MatchesHungarianOnRandomInstances) {
+  Rng rng(20260807);
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 16));
+    const BucketOrder sigma = RandomBucketOrder(n, rng);
+    const BucketOrder shape = RandomBucketOrder(n, rng);
+    std::vector<std::int64_t> element_pos(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      element_pos[e] = sigma.TwicePosition(static_cast<ElementId>(e));
+    }
+    const std::vector<std::int64_t> slot_pos =
+        SlotPositionsOfType(shape.Type());
+    const auto structured = StructuredSlotAssignment(element_pos, slot_pos);
+    ASSERT_TRUE(structured.ok()) << structured.status();
+    const auto general =
+        MinCostAssignment(InducedCostMatrix(element_pos, slot_pos));
+    ASSERT_TRUE(general.ok()) << general.status();
+    // Equal-cost optima may assign differently; only the cost is unique.
+    EXPECT_EQ(structured->total_cost, general->total_cost)
+        << "round " << round << " n " << n;
+  }
+}
+
+// The m == 1 fast path inside FootruleOptimalOfType must be cost-identical
+// to the general Hungarian path on the same instance.
+TEST(FootruleOptimalStructuredTest, SingleInputTypedMatchesGeneralMatcher) {
+  Rng rng(7);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(2, 14));
+    const BucketOrder sigma = RandomBucketOrder(n, rng);
+    const std::vector<std::size_t> alpha = RandomBucketOrder(n, rng).Type();
+    const auto typed = FootruleOptimalOfType({sigma}, alpha);
+    ASSERT_TRUE(typed.ok()) << typed.status();
+
+    std::vector<std::int64_t> element_pos(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      element_pos[e] = sigma.TwicePosition(static_cast<ElementId>(e));
+    }
+    const auto general = MinCostAssignment(
+        InducedCostMatrix(element_pos, SlotPositionsOfType(alpha)));
+    ASSERT_TRUE(general.ok()) << general.status();
+    EXPECT_EQ(typed->twice_total_cost, general->total_cost);
+
+    // The reported cost is the doubled Fprof objective of the returned
+    // order against the input.
+    EXPECT_EQ(typed->twice_total_cost, TwiceFprof(typed->order, sigma));
+  }
+}
+
+TEST(FootruleOptimalStructuredTest, SingleInputFullMatchesGeneralMatcher) {
+  Rng rng(13);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 14));
+    const BucketOrder sigma = RandomBucketOrder(n, rng);
+    const auto full = FootruleOptimalFull({sigma});
+    ASSERT_TRUE(full.ok()) << full.status();
+
+    std::vector<std::int64_t> element_pos(n);
+    std::vector<std::int64_t> slot_pos(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      element_pos[e] = sigma.TwicePosition(static_cast<ElementId>(e));
+      slot_pos[e] = 2 * static_cast<std::int64_t>(e + 1);
+    }
+    const auto general =
+        MinCostAssignment(InducedCostMatrix(element_pos, slot_pos));
+    ASSERT_TRUE(general.ok()) << general.status();
+    EXPECT_EQ(full->twice_total_cost, general->total_cost);
+    EXPECT_EQ(full->twice_total_cost,
+              TwiceFprof(BucketOrder::FromPermutation(full->ranking), sigma));
+  }
+}
+
+// Duplicating the single input forces the multi-input (Hungarian) branch;
+// the cost matrix doubles exactly, so the optimum must be exactly twice the
+// structured single-input optimum.
+TEST(FootruleOptimalStructuredTest, DuplicatedInputTakesGeneralBranch) {
+  Rng rng(29);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(2, 12));
+    const BucketOrder sigma = RandomBucketOrder(n, rng);
+    const std::vector<std::size_t> alpha = RandomBucketOrder(n, rng).Type();
+    const auto one = FootruleOptimalOfType({sigma}, alpha);
+    const auto two = FootruleOptimalOfType({sigma, sigma}, alpha);
+    ASSERT_TRUE(one.ok()) << one.status();
+    ASSERT_TRUE(two.ok()) << two.status();
+    EXPECT_EQ(two->twice_total_cost, 2 * one->twice_total_cost);
+
+    const auto full_one = FootruleOptimalFull({sigma});
+    const auto full_two = FootruleOptimalFull({sigma, sigma});
+    ASSERT_TRUE(full_one.ok()) << full_one.status();
+    ASSERT_TRUE(full_two.ok()) << full_two.status();
+    EXPECT_EQ(full_two->twice_total_cost, 2 * full_one->twice_total_cost);
+  }
+}
+
+}  // namespace
+}  // namespace rankties

@@ -37,6 +37,16 @@ Rules (rationale in docs/STATIC_ANALYSIS.md):
                                src/rank/; everything else goes through the
                                public API so Validate() stays authoritative.
 
+  RT006 raw-intrinsics         Vector intrinsics (_mm*/__m128/__m256/__m512
+                               or an *intrin.h include) anywhere but
+                               src/util/simd.h. That header owns the SIMD
+                               dispatch contract — every vector kernel lives
+                               next to its bit-identical scalar twin and the
+                               runtime level check; intrinsics scattered
+                               elsewhere would dodge the scalar-fallback and
+                               RANKTIES_NO_AVX2 guarantees the CI dispatch
+                               matrix enforces.
+
 A finding on a line carrying `rankties-lint: allow(RTxxx)` is suppressed.
 
 Usage:
@@ -67,6 +77,9 @@ BANNED_RANDOM = re.compile(
 )
 FIELD_ACCESS = re.compile(
     r"(?:\.|->)\s*(?:buckets_|bucket_of_|twice_pos_by_bucket_)\b"
+)
+RAW_INTRINSICS = re.compile(
+    r"\b_mm\d*_\w+|\b__m(?:128|256|512)[di]?\b|#\s*include\s*<\w*intrin\.h>"
 )
 ALLOW = re.compile(r"rankties-lint:\s*allow\((RT\d{3})\)")
 FIXTURE_EXPECT = re.compile(r"rankties-lint-fixture:\s*expect\s+(RT\d{3})")
@@ -127,6 +140,7 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
     in_prod = top in ("src", "bench", "examples") or fixture_mode
     is_checked_math = rel.as_posix() == "src/util/checked_math.h"
     in_rank = rel.as_posix().startswith("src/rank/")
+    is_simd_home = rel.as_posix() == "src/util/simd.h"
     in_block_comment = False
 
     for lineno, raw in enumerate(lines, start=1):
@@ -170,6 +184,12 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
             findings.append(Finding(path, lineno, "RT005",
                                     "BucketOrder internals accessed outside "
                                     "src/rank/; use the public API"))
+        if not is_simd_home and RAW_INTRINSICS.search(line):
+            findings.append(Finding(path, lineno, "RT006",
+                                    "raw vector intrinsics outside "
+                                    "src/util/simd.h; use the dispatching "
+                                    "kernels (simd::AbsDiffSumI64, "
+                                    "simd::JointKeys32)"))
 
     if path.suffix == ".h":
         findings.extend(check_include_guard(path, rel, text))
