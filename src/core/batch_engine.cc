@@ -1,8 +1,11 @@
 #include "core/batch_engine.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/hausdorff.h"
 #include "core/prepared.h"
+#include "core/profile_metrics.h"
 #include "obs/obs.h"
 #include "util/checked_math.h"
 #include "util/contracts.h"
@@ -277,6 +280,277 @@ StatusOr<BestCandidateResult> BestOfCandidates(
     }
   }
   return best;
+}
+
+namespace {
+
+// Relation of the moved element e to a fixed element x in one ranking:
+// -1 when e's bucket precedes x's, 0 when tied, +1 when e's bucket follows.
+// Pair classes are a pure function of (sigma_rel, tau_rel), so a move only
+// re-classifies the pairs whose sigma_rel changed.
+int RelOf(const std::vector<BucketIndex>& bucket_of, ElementId e,
+          ElementId x) {
+  const BucketIndex be = bucket_of[static_cast<std::size_t>(e)];
+  const BucketIndex bx = bucket_of[static_cast<std::size_t>(x)];
+  if (be < bx) return -1;
+  if (be > bx) return 1;
+  return 0;
+}
+
+// The PairCounts slot that a pair with relations (sigma_rel, tau_rel)
+// belongs to, for the orientation where sigma is the first-listed ranking.
+std::int64_t& ClassSlot(PairCounts& counts, int sigma_rel, int tau_rel) {
+  if (sigma_rel == 0 && tau_rel == 0) return counts.tied_both;
+  if (sigma_rel == 0) return counts.tied_sigma_only;
+  if (tau_rel == 0) return counts.tied_tau_only;
+  return sigma_rel == tau_rel ? counts.concordant : counts.discordant;
+}
+
+// Mirror of a stored classification: counts_[j][i] sees the same pairs with
+// the roles of sigma and tau swapped, so only the one-sided tie classes
+// trade places.
+PairCounts Mirrored(const PairCounts& counts) {
+  PairCounts mirror = counts;
+  std::swap(mirror.tied_sigma_only, mirror.tied_tau_only);
+  return mirror;
+}
+
+}  // namespace
+
+StatusOr<IncrementalDistanceMatrix> IncrementalDistanceMatrix::Create(
+    MetricKind kind, const std::vector<BucketOrder>& lists) {
+  if (lists.empty()) {
+    return Status::InvalidArgument(
+        "IncrementalDistanceMatrix needs at least one list");
+  }
+  const std::size_t n = lists.front().n();
+  for (const BucketOrder& order : lists) {
+    if (order.n() != n) {
+      return Status::InvalidArgument(
+          "IncrementalDistanceMatrix needs equal universe sizes");
+    }
+  }
+  std::vector<PreparedRanking> prepared;
+  prepared.reserve(lists.size());
+  for (const BucketOrder& order : lists) {
+    prepared.emplace_back(order);
+  }
+  return IncrementalDistanceMatrix(kind, std::move(prepared));
+}
+
+IncrementalDistanceMatrix::IncrementalDistanceMatrix(
+    MetricKind kind, std::vector<PreparedRanking> prepared)
+    : kind_(kind), prepared_(std::move(prepared)) {
+  const std::size_t m = prepared_.size();
+  matrix_.assign(m, std::vector<double>(m, 0.0));
+  if (UsesPairCounts()) {
+    counts_.assign(m, std::vector<PairCounts>(m));
+  }
+  // Initial fill is serial: the engine's contract is serialized updates, so
+  // construction follows the same single-writer discipline (and the upper
+  // triangle is computed once and mirrored, like DistanceMatrix).
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      double value;
+      if (UsesPairCounts()) {
+        const PairCounts counts =
+            ComputePairCounts(prepared_[i], prepared_[j], scratch_);
+        counts_[i][j] = counts;
+        counts_[j][i] = Mirrored(counts);
+        value = ValueFromCounts(counts);
+      } else {
+        value = EvalPrepared(kind_, prepared_[i], prepared_[j], scratch_);
+      }
+      matrix_[i][j] = value;
+      matrix_[j][i] = value;
+    }
+  }
+}
+
+bool IncrementalDistanceMatrix::UsesPairCounts() const {
+  return kind_ == MetricKind::kKprof || kind_ == MetricKind::kKHaus;
+}
+
+double IncrementalDistanceMatrix::ValueFromCounts(
+    const PairCounts& counts) const {
+  // Same post-processing expressions as the legacy metrics (Kprof and
+  // KHausdorff both reduce their exact integer counts this way), so the
+  // delta-maintained values are bit-identical to a full recompute.
+  if (kind_ == MetricKind::kKprof) {
+    return static_cast<double>(TwiceKprofFromCounts(counts)) / 2.0;
+  }
+  RANKTIES_DCHECK(kind_ == MetricKind::kKHaus);
+  return static_cast<double>(KHausdorffFromCounts(counts));
+}
+
+void IncrementalDistanceMatrix::RefreshRow(std::size_t list) {
+  const std::size_t m = prepared_.size();
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == list) continue;
+    double value;
+    if (UsesPairCounts()) {
+      const PairCounts counts =
+          ComputePairCounts(prepared_[list], prepared_[j], scratch_);
+      counts_[list][j] = counts;
+      counts_[j][list] = Mirrored(counts);
+      value = ValueFromCounts(counts);
+    } else {
+      value = EvalPrepared(kind_, prepared_[list], prepared_[j], scratch_);
+    }
+    matrix_[list][j] = value;
+    matrix_[j][list] = value;
+  }
+  pairs_reevaluated_ += static_cast<std::int64_t>(m) - 1;
+  RANKTIES_OBS_COUNT("incremental.rows_refreshed", 1);
+  RANKTIES_OBS_COUNT("incremental.pairs_reevaluated",
+                     static_cast<std::int64_t>(m) - 1);
+}
+
+void IncrementalDistanceMatrix::ApplyCountDeltas(
+    std::size_t list, const std::vector<RelChange>& affected) {
+  const std::size_t m = prepared_.size();
+  std::int64_t cells_touched = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == list) continue;
+    const std::vector<BucketIndex>& tau_of = prepared_[j].bucket_of();
+    PairCounts& row_counts = counts_[list][j];
+    PairCounts& mirror_counts = counts_[j][list];
+    for (const RelChange& change : affected) {
+      if (change.old_rel == change.new_rel) continue;
+      const BucketIndex te = tau_of[static_cast<std::size_t>(change.e)];
+      const BucketIndex tx = tau_of[static_cast<std::size_t>(change.x)];
+      const int tau_rel = te < tx ? -1 : (te > tx ? 1 : 0);
+      ClassSlot(row_counts, change.old_rel, tau_rel) -= 1;
+      ClassSlot(row_counts, change.new_rel, tau_rel) += 1;
+      // counts_[j][list] classifies with sigma = list j, whose relations
+      // did not change — only the tau side (the mutated list) did.
+      ClassSlot(mirror_counts, tau_rel, change.old_rel) -= 1;
+      ClassSlot(mirror_counts, tau_rel, change.new_rel) += 1;
+      ++cells_touched;
+    }
+    const double value = ValueFromCounts(row_counts);
+    matrix_[list][j] = value;
+    matrix_[j][list] = value;
+  }
+  pairs_reevaluated_ += static_cast<std::int64_t>(m) - 1;
+  RANKTIES_OBS_COUNT("incremental.count_delta_cells", cells_touched);
+  RANKTIES_OBS_COUNT("incremental.pairs_reevaluated",
+                     static_cast<std::int64_t>(m) - 1);
+}
+
+Status IncrementalDistanceMatrix::MoveToBucket(std::size_t list, ElementId e,
+                                               std::size_t target_bucket) {
+  if (list >= prepared_.size()) {
+    return Status::InvalidArgument("list index out of range");
+  }
+  PreparedRanking& ranking = prepared_[list];
+  if (e < 0 || static_cast<std::size_t>(e) >= ranking.n()) {
+    return Status::InvalidArgument("element out of range");
+  }
+  if (target_bucket >= ranking.num_buckets()) {
+    return Status::InvalidArgument("target bucket out of range");
+  }
+  const std::size_t source = static_cast<std::size_t>(
+      ranking.bucket_of()[static_cast<std::size_t>(e)]);
+  // A no-op edit costs nothing on either maintenance path (the
+  // pairs-reevaluated accounting would otherwise depend on the metric).
+  if (source == target_bucket) return Status::Ok();
+  if (!UsesPairCounts()) {
+    Status moved = ranking.MoveToBucket(e, target_bucket);
+    if (!moved.ok()) return moved;
+    RefreshRow(list);
+    return Status::Ok();
+  }
+  // Snapshot the relations that can change — pairs (e, x) with x in the
+  // bucket span [min(src, dst), max(src, dst)] — before the edit.
+  const std::size_t lo = std::min(source, target_bucket);
+  const std::size_t hi = std::max(source, target_bucket);
+  CaptureAffected(ranking, e, lo, hi);
+  Status moved = ranking.MoveToBucket(e, target_bucket);
+  if (!moved.ok()) return moved;
+  FinishAffected(ranking, e);
+  ApplyCountDeltas(list, affected_scratch_);
+  return Status::Ok();
+}
+
+Status IncrementalDistanceMatrix::MoveToNewBucket(std::size_t list,
+                                                  ElementId e,
+                                                  std::size_t before_bucket) {
+  if (list >= prepared_.size()) {
+    return Status::InvalidArgument("list index out of range");
+  }
+  PreparedRanking& ranking = prepared_[list];
+  if (e < 0 || static_cast<std::size_t>(e) >= ranking.n()) {
+    return Status::InvalidArgument("element out of range");
+  }
+  if (before_bucket > ranking.num_buckets()) {
+    return Status::InvalidArgument("insertion position out of range");
+  }
+  const std::size_t source = static_cast<std::size_t>(
+      ranking.bucket_of()[static_cast<std::size_t>(e)]);
+  const std::size_t source_size =
+      ranking.bucket_offset()[source + 1] - ranking.bucket_offset()[source];
+  // Already a singleton at this spot: no-op on either maintenance path.
+  if (source_size == 1 &&
+      (before_bucket == source || before_bucket == source + 1)) {
+    return Status::Ok();
+  }
+  if (!UsesPairCounts()) {
+    Status moved = ranking.MoveToNewBucket(e, before_bucket);
+    if (!moved.ok()) return moved;
+    RefreshRow(list);
+    return Status::Ok();
+  }
+  // Relations change only against elements e crosses: buckets [pos, src]
+  // when moving ahead, (src, pos) when moving behind.
+  const std::size_t lo = std::min(source, before_bucket);
+  const std::size_t hi = before_bucket > source ? before_bucket - 1 : source;
+  CaptureAffected(ranking, e, lo, hi);
+  Status moved = ranking.MoveToNewBucket(e, before_bucket);
+  if (!moved.ok()) return moved;
+  FinishAffected(ranking, e);
+  ApplyCountDeltas(list, affected_scratch_);
+  return Status::Ok();
+}
+
+void IncrementalDistanceMatrix::CaptureAffected(const PreparedRanking& ranking,
+                                                ElementId e, std::size_t lo,
+                                                std::size_t hi) {
+  affected_scratch_.clear();
+  const std::vector<ElementId>& by_bucket = ranking.by_bucket();
+  const std::vector<std::size_t>& offset = ranking.bucket_offset();
+  const std::vector<BucketIndex>& bucket_of = ranking.bucket_of();
+  for (std::size_t slot = offset[lo]; slot < offset[hi + 1]; ++slot) {
+    const ElementId x = by_bucket[slot];
+    if (x == e) continue;
+    affected_scratch_.push_back(
+        RelChange{e, x, RelOf(bucket_of, e, x), 0});
+  }
+}
+
+void IncrementalDistanceMatrix::FinishAffected(
+    const PreparedRanking& ranking, ElementId e) {
+  // Bucket indices may have shifted (a collapsed source bucket renumbers
+  // the suffix) but shifts apply to both sides of every comparison, so the
+  // post-edit bucket_of still yields the correct relation signs.
+  const std::vector<BucketIndex>& bucket_of = ranking.bucket_of();
+  for (RelChange& change : affected_scratch_) {
+    change.new_rel = RelOf(bucket_of, e, change.x);
+  }
+}
+
+Status IncrementalDistanceMatrix::ReplaceList(std::size_t list,
+                                              const BucketOrder& order) {
+  if (list >= prepared_.size()) {
+    return Status::InvalidArgument("list index out of range");
+  }
+  if (order.n() != n()) {
+    return Status::InvalidArgument(
+        "ReplaceList needs the corpus universe size");
+  }
+  prepared_[list] = PreparedRanking(order);
+  RefreshRow(list);
+  return Status::Ok();
 }
 
 }  // namespace rankties

@@ -2,9 +2,12 @@
 #define RANKTIES_CORE_BATCH_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/metric_registry.h"
+#include "core/pair_counts.h"
+#include "core/prepared.h"
 #include "rank/bucket_order.h"
 #include "util/status.h"
 
@@ -68,6 +71,124 @@ struct BestCandidateResult {
 StatusOr<BestCandidateResult> BestOfCandidates(
     MetricKind kind, const std::vector<BucketOrder>& candidates,
     const std::vector<BucketOrder>& lists);
+
+/// A live all-pairs distance matrix under continuous mutation (ROADMAP
+/// item 4). Where DistanceMatrix answers one-shot batch queries, this
+/// engine keeps the m x m matrix current while individual rankings mutate:
+/// a single-item edit to list i re-evaluates only row/column i — and for
+/// the pair-count metrics (Kprof, KHaus) not even that: the engine stores
+/// the PairCounts of every pair and applies O(affected-range) count deltas
+/// (only the joint-histogram cells involving the moved element change), so
+/// a move costs O(sum of affected bucket sizes * m) instead of the full
+/// O(m^2 * n log n) rebuild. Fprof/FHaus re-run their prepared kernels
+/// over the mutated row (O(m * n)).
+///
+/// Determinism: every maintained value is bit-identical to a full
+/// recompute of the mutated corpus — the count deltas are exact integer
+/// updates funneled through the same FromCounts post-processing, and the
+/// row refreshes run the same prepared kernels as DistanceMatrix. The
+/// mutation-trace fuzz family asserts this after every edit step.
+///
+/// Not thread-safe: one engine per writer (updates are serial by design so
+/// results cannot depend on interleaving).
+class IncrementalDistanceMatrix {
+ public:
+  /// Builds the initial matrix (prepared kernels, serial). Fails when
+  /// `lists` is empty or the universe sizes disagree.
+  static StatusOr<IncrementalDistanceMatrix> Create(
+      MetricKind kind, const std::vector<BucketOrder>& lists);
+
+  IncrementalDistanceMatrix(IncrementalDistanceMatrix&&) noexcept = default;
+  IncrementalDistanceMatrix& operator=(IncrementalDistanceMatrix&&) noexcept =
+      default;
+
+  [[nodiscard]] std::size_t num_lists() const { return prepared_.size(); }
+  [[nodiscard]] std::size_t n() const {
+    return prepared_.empty() ? 0 : prepared_.front().n();
+  }
+  [[nodiscard]] MetricKind kind() const { return kind_; }
+
+  /// The current matrix; symmetric with a zero diagonal, always consistent
+  /// with the current state of the lists.
+  [[nodiscard]] const std::vector<std::vector<double>>& Matrix() const {
+    return matrix_;
+  }
+
+  /// The live prepared form of list `i` (delta-maintained).
+  [[nodiscard]] const PreparedRanking& List(std::size_t i) const {
+    return prepared_[i];
+  }
+
+  /// Moves element `e` of list `list` into that list's existing bucket
+  /// `target_bucket` and patches row/column `list`. Pair-count metrics pay
+  /// O(affected * m); others O(m) kernel evaluations.
+  [[nodiscard]] Status MoveToBucket(std::size_t list, ElementId e,
+                                    std::size_t target_bucket);
+
+  /// Moves element `e` of list `list` into a new singleton bucket before
+  /// bucket `before_bucket` (see PreparedRanking::MoveToNewBucket).
+  [[nodiscard]] Status MoveToNewBucket(std::size_t list, ElementId e,
+                                       std::size_t before_bucket);
+
+  /// Replaces list `list` wholesale (same universe size) and re-evaluates
+  /// its row — the escape hatch for edits bigger than a single move.
+  /// Domain-size changes (insert/erase) touch every list of the corpus and
+  /// therefore every pair; rebuild via Create for those.
+  [[nodiscard]] Status ReplaceList(std::size_t list,
+                                   const BucketOrder& order);
+
+  /// Pairs whose value was re-derived since construction — by count delta
+  /// or kernel re-evaluation. The closed-loop bench reports this next to
+  /// update throughput; full recompute would pay m*(m-1)/2 per edit.
+  [[nodiscard]] std::int64_t pairs_reevaluated() const {
+    return pairs_reevaluated_;
+  }
+
+ private:
+  IncrementalDistanceMatrix(MetricKind kind,
+                            std::vector<PreparedRanking> prepared);
+
+  /// True when `kind_` derives from PairCounts and count-delta maintenance
+  /// applies (Kprof, KHaus).
+  [[nodiscard]] bool UsesPairCounts() const;
+
+  /// Metric value of pair (i, j) from the stored counts (sigma = i side).
+  [[nodiscard]] double ValueFromCounts(const PairCounts& counts) const;
+
+  /// Re-evaluates row `list` with the prepared kernels (and refreshes the
+  /// stored counts for the pair-count kinds).
+  void RefreshRow(std::size_t list);
+
+  /// Applies the relation changes of pairs (e, x) to row `list`'s stored
+  /// counts and values. `affected` holds (e, x, old_rel, new_rel) with rel
+  /// in {-1: e ahead of x, 0: tied, +1: e behind x}.
+  struct RelChange {
+    ElementId e;
+    ElementId x;
+    int old_rel;
+    int new_rel;
+  };
+  void ApplyCountDeltas(std::size_t list,
+                        const std::vector<RelChange>& affected);
+
+  /// Records old_rel for every pair (e, x) with x in buckets [lo, hi] of
+  /// `ranking` into affected_scratch_ (called before the edit)...
+  void CaptureAffected(const PreparedRanking& ranking, ElementId e,
+                       std::size_t lo, std::size_t hi);
+  /// ...and fills in new_rel from the post-edit bucket assignment.
+  void FinishAffected(const PreparedRanking& ranking, ElementId e);
+
+  MetricKind kind_ = MetricKind::kKprof;
+  std::vector<PreparedRanking> prepared_;
+  std::vector<std::vector<double>> matrix_;
+  /// counts_[i][j] classifies pairs with sigma = list i, tau = list j
+  /// (mirror entries swap the one-sided tie counts). Only populated for
+  /// the pair-count kinds.
+  std::vector<std::vector<PairCounts>> counts_;
+  PairScratch scratch_;
+  std::vector<RelChange> affected_scratch_;
+  std::int64_t pairs_reevaluated_ = 0;
+};
 
 }  // namespace rankties
 

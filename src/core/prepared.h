@@ -7,6 +7,7 @@
 #include "core/pair_counts.h"
 #include "rank/bucket_order.h"
 #include "rank/element.h"
+#include "util/status.h"
 
 namespace rankties {
 
@@ -30,9 +31,15 @@ namespace rankties {
 /// exact integer counts, and the fuzz harness cross-checks them
 /// pair-for-pair across every adversarial family.
 
-/// An immutable O(n) freeze of a BucketOrder. Snapshot semantics: the
-/// prepared form owns its arrays and stays valid after the source
-/// BucketOrder is destroyed.
+/// An O(n) freeze of a BucketOrder with O(affected-range) delta operations.
+/// Snapshot semantics: the prepared form owns its arrays and stays valid
+/// after the source BucketOrder is destroyed. A serving workload mutates a
+/// frozen ranking in place (MoveToBucket / MoveToNewBucket / InsertItem /
+/// EraseItem) instead of re-freezing from scratch; the delta paths maintain
+/// every invariant of the freeze bit-exactly (DESIGN.md §8 spells out which
+/// prefix of the flat arrays survives each edit), and the mutation-trace
+/// fuzz family asserts array-level equality against a fresh freeze after
+/// every step.
 class PreparedRanking {
  public:
   /// An empty-domain prepared ranking (n = 0).
@@ -51,7 +58,9 @@ class PreparedRanking {
   ~PreparedRanking() = default;
 
   [[nodiscard]] std::size_t n() const { return bucket_of_.size(); }
-  [[nodiscard]] std::size_t num_buckets() const { return bucket_offset_.size() - 1; }
+  [[nodiscard]] std::size_t num_buckets() const {
+    return bucket_offset_.size() - 1;
+  }
 
   /// Number of unordered pairs tied in this ranking
   /// (sum over buckets of |B| choose 2), precomputed at freeze time.
@@ -76,7 +85,62 @@ class PreparedRanking {
     return twice_pos_;
   }
 
+  /// --- Delta operations (ROADMAP item 4) -------------------------------
+  ///
+  /// Each edit re-freezes only the affected range of the flat arrays and
+  /// leaves the result indistinguishable from `PreparedRanking(edited
+  /// order)` — array-for-array, bit-for-bit (fuzzed by the mutation-trace
+  /// family). Costs below are in touched array slots; `t` is the bucket
+  /// count. Failed calls leave the ranking unchanged.
+
+  /// Moves element `e` into the existing bucket `target_bucket` (current
+  /// 0-based index). A no-op when `e` already lives there. If the source
+  /// bucket empties it is removed and later buckets shift down one index
+  /// (an O(suffix) reindex — the only case where a move touches slots
+  /// outside [min(src, dst), max(src, dst)]). Cost: O(affected bucket
+  /// range) otherwise.
+  [[nodiscard]] Status MoveToBucket(ElementId e, std::size_t target_bucket);
+
+  /// Moves element `e` into a new singleton bucket inserted immediately
+  /// before the current bucket `before_bucket` (`before_bucket ==
+  /// num_buckets()` appends a last bucket). A no-op when `e` is already a
+  /// singleton at that spot. When the net bucket count changes (the source
+  /// bucket survives), every later bucket shifts index: O(suffix) reindex;
+  /// relocating a singleton bucket stays O(affected range).
+  [[nodiscard]] Status MoveToNewBucket(ElementId e,
+                                       std::size_t before_bucket);
+
+  /// Grows the domain by one: the new element gets id n() and joins the
+  /// existing bucket `bucket`. Positions of buckets >= `bucket` shift, so
+  /// the cost is O(suffix after the bucket); the prefix survives intact.
+  [[nodiscard]] Status InsertItem(std::size_t bucket);
+
+  /// Shrinks the domain by one: removes element `e`; every element with id
+  /// > e is renumbered down by one (the domain stays dense {0..n-2}).
+  /// Renumbering forces a full O(n) pass — the one edit where no suffix of
+  /// the element-indexed arrays survives — but still avoids the
+  /// O(lists * n log n) downstream recompute the delta engines exist to
+  /// kill. An emptied bucket is removed as in MoveToBucket.
+  [[nodiscard]] Status EraseItem(ElementId e);
+
+  /// Thaws the frozen arrays back into a BucketOrder (O(n)). Used by the
+  /// differential harness to compare a delta-edited ranking against a
+  /// from-scratch rebuild, and by callers that need to hand an edited
+  /// ranking to a legacy BucketOrder API.
+  [[nodiscard]] BucketOrder ToBucketOrder() const;
+
  private:
+  /// Rewrites twice_pos_ for every element of buckets [lo, hi] from the
+  /// identity 2*pos(B_b) = bucket_offset_[b] + bucket_offset_[b+1] + 1.
+  void RecomputePositions(std::size_t lo, std::size_t hi);
+
+  /// Removes the (empty) bucket `b`: erases its offset entry and shifts
+  /// bucket_of_ down for every element of later buckets. O(suffix).
+  void CollapseEmptyBucket(std::size_t b);
+
+  /// Slot of `e` inside its bucket's by_bucket_ range (elements ascend by
+  /// id within a bucket, so this is a binary search).
+  std::size_t SlotOf(ElementId e) const;
   std::vector<BucketIndex> bucket_of_;      // element -> bucket
   std::vector<ElementId> by_bucket_;        // elements grouped by bucket
   std::vector<std::size_t> bucket_offset_{0};  // bucket -> by_bucket_ range

@@ -15,7 +15,9 @@
 #include "core/batch_engine.h"
 #include "core/footrule.h"
 #include "core/hausdorff.h"
+#include "core/median_rank.h"
 #include "core/metric_registry.h"
+#include "core/online_median.h"
 #include "core/profile_metrics.h"
 #include "obs/obs.h"
 #include "rank/bucket_order.h"
@@ -102,6 +104,56 @@ TEST(DegenerateInputsTest, InstrumentedEnginesSurviveDegenerateInputs) {
   const std::string doc = obs::TraceJsonDocument();
   EXPECT_NE(doc.find("rankties-trace-v1"), std::string::npos);
   obs::SetEnabled(false);
+}
+
+// OnlineMedianAggregator::CurrentTopK at the edges of k and of the voter
+// count: k == 0 is a legal (all-nil) query, k > n must fail cleanly, and a
+// single-voter corpus's median is that voter's own position vector.
+TEST(DegenerateInputsTest, OnlineMedianTopKEdges) {
+  const std::size_t n = 4;
+  OnlineMedianAggregator online(n);
+  // Before any voter, every query fails — k == 0 included: there is no
+  // aggregate to take a prefix of.
+  EXPECT_FALSE(online.CurrentTopK(0).ok());
+
+  const BucketOrder voter = *BucketOrder::FromBuckets(n, {{2}, {0, 3}, {1}});
+  ASSERT_TRUE(online.AddVoter(voter).ok());
+
+  // k == 0: a top-0 list is one all-nil bucket, not an error.
+  auto top0 = online.CurrentTopK(0);
+  ASSERT_TRUE(top0.ok());
+  EXPECT_EQ(top0->n(), n);
+  EXPECT_EQ(top0->num_buckets(), 1u);
+
+  // k > n: out of range, and the aggregator state survives the rejection.
+  EXPECT_FALSE(online.CurrentTopK(n + 1).ok());
+  EXPECT_EQ(online.num_voters(), 1u);
+
+  // Single voter: the median of one ballot is the ballot. Scores are the
+  // quadrupled positions and top-n is the voter's order with remaining
+  // ties broken by id (element 0 ahead of 3 inside the tied bucket).
+  auto scores = online.ScoresQuad();
+  ASSERT_TRUE(scores.ok());
+  for (std::size_t e = 0; e < n; ++e) {
+    EXPECT_EQ((*scores)[e],
+              2 * voter.TwicePosition(static_cast<ElementId>(e)));
+  }
+  auto single = MedianRankScoresQuad({voter}, MedianPolicy::kLower);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(*scores, *single);
+  auto topn = online.CurrentTopK(n);
+  auto batch_topn = MedianAggregateTopK({voter}, n, MedianPolicy::kLower);
+  ASSERT_TRUE(topn.ok() && batch_topn.ok());
+  EXPECT_EQ(*topn, *batch_topn);
+
+  // k == n == 0: the empty aggregator over an empty universe still needs a
+  // voter before answering, and then answers the empty list.
+  OnlineMedianAggregator empty(0);
+  EXPECT_FALSE(empty.CurrentTopK(0).ok());
+  ASSERT_TRUE(empty.AddVoter(BucketOrder()).ok());
+  auto empty_topk = empty.CurrentTopK(0);
+  ASSERT_TRUE(empty_topk.ok());
+  EXPECT_EQ(empty_topk->n(), 0u);
 }
 
 TEST(DegenerateInputsTest, GuardsDoNotOvertrigger) {

@@ -26,6 +26,7 @@ struct DriverOptions {
 struct CheckStats {
   std::int64_t comparisons = 0;        ///< individual value-vs-value checks
   std::int64_t enumeration_cases = 0;  ///< cases the exponential oracle ran on
+  std::int64_t mutation_steps = 0;     ///< edit steps checked (mutation traces)
   std::vector<std::string> failures;   ///< each embeds seed + replay command
 };
 

@@ -8,7 +8,12 @@
 // (the seed is printed in every failure message). Sweep shape is
 // configurable: --seed-base=<s> / --cases=<n> / --failure-file=<path>, or
 // the environment equivalents RANKTIES_FUZZ_SEED_BASE /
-// RANKTIES_FUZZ_CASES / RANKTIES_FUZZ_FAILURE_FILE.
+// RANKTIES_FUZZ_CASES / RANKTIES_FUZZ_FAILURE_FILE. On top of those,
+// --max-cases=<n> (env RANKTIES_FUZZ_MAX_CASES) *caps* the effective case
+// count without replacing it — CI shards export RANKTIES_FUZZ_CASES for
+// the full window while a local smoke run tacks on --max-cases=50, and
+// whichever is smaller wins. The mutation-trace sweep scales with the same
+// case count (one trace per ~40 cases), so the cap shrinks it too.
 //
 // --obs (or RANKTIES_OBS=1) turns metric collection and trace recording on
 // for the whole sweep, so the fuzz workload also exercises the src/obs
@@ -16,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +36,7 @@
 #include "core/profile_metrics.h"
 #include "fuzz/differential.h"
 #include "fuzz/fuzz_corpus.h"
+#include "fuzz/mutation_trace.h"
 #include "gen/random_orders.h"
 #include "obs/obs.h"
 #include "rank/refinement.h"
@@ -41,9 +48,14 @@ namespace {
 struct FuzzFlags {
   std::uint64_t seed_base = 0xF00D;
   std::int64_t cases = 1500;
+  std::optional<std::int64_t> max_cases;  ///< cap on `cases`, never a raise
   std::optional<std::uint64_t> single_seed;
   std::string failure_file;
   bool obs = false;
+
+  std::int64_t EffectiveCases() const {
+    return max_cases ? std::min(cases, *max_cases) : cases;
+  }
 };
 
 FuzzFlags& Flags() {
@@ -78,7 +90,7 @@ TEST(FuzzHarnessTest, DifferentialAndMetamorphicSweep) {
   if (Flags().single_seed) {
     seeds.push_back(*Flags().single_seed);
   } else {
-    for (std::int64_t i = 0; i < Flags().cases; ++i) {
+    for (std::int64_t i = 0; i < Flags().EffectiveCases(); ++i) {
       seeds.push_back(Flags().seed_base + static_cast<std::uint64_t>(i));
     }
   }
@@ -99,11 +111,58 @@ TEST(FuzzHarnessTest, DifferentialAndMetamorphicSweep) {
                static_cast<long long>(seeds.size()),
                static_cast<long long>(stats.comparisons),
                static_cast<long long>(stats.enumeration_cases));
-  if (!Flags().single_seed && Flags().cases >= 1000) {
+  if (!Flags().single_seed && Flags().EffectiveCases() >= 1000) {
     // The acceptance floor: the harness must actually exercise the
     // oracle at scale, not silently skip it.
     EXPECT_GE(stats.comparisons, 10'000);
-    EXPECT_GE(stats.enumeration_cases, Flags().cases / 20);
+    EXPECT_GE(stats.enumeration_cases, Flags().EffectiveCases() / 20);
+  }
+}
+
+// The mutation-trace family: seeded random edit scripts through every
+// delta path — PreparedRanking in-place edits, IncrementalDistanceMatrix
+// count/row maintenance for all four metrics, OnlineMedianAggregator
+// voter updates and withdrawals — each step cross-checked bit-exactly
+// against a full recompute (fresh freeze, DistanceMatrix, src/ref oracle,
+// batch median). Trace count scales with the case window so the default
+// CI window lands well past the 1,000-step acceptance floor.
+TEST(FuzzHarnessTest, MutationTraceSweep) {
+  DriverOptions options;
+  // Traces re-consult the enumeration oracle after every step of a small
+  // universe, not once per case, so they get a tighter budget than the
+  // one-shot differential sweep.
+  options.enumeration_budget = 20'000;
+  CheckStats stats;
+  std::vector<std::uint64_t> failing_seeds;
+  const std::int64_t cases = Flags().EffectiveCases();
+  const std::int64_t corpus_traces = std::max<std::int64_t>(3, cases / 60);
+  const std::int64_t edit_traces = std::max<std::int64_t>(4, cases / 40);
+  for (std::int64_t i = 0; i < corpus_traces; ++i) {
+    const std::uint64_t seed =
+        Flags().seed_base + 0x3A5E000 + static_cast<std::uint64_t>(i);
+    const std::size_t before = stats.failures.size();
+    CheckMutationTrace(seed, /*steps=*/24, options, &stats);
+    if (stats.failures.size() != before) failing_seeds.push_back(seed);
+  }
+  for (std::int64_t i = 0; i < edit_traces; ++i) {
+    const std::uint64_t seed =
+        Flags().seed_base + 0x7E517000 + static_cast<std::uint64_t>(i);
+    const std::size_t before = stats.failures.size();
+    CheckPreparedEditTrace(seed, /*steps=*/40, &stats);
+    if (stats.failures.size() != before) failing_seeds.push_back(seed);
+  }
+  ReportFailures(stats, failing_seeds);
+  std::fprintf(stderr,
+               "mutation traces: %lld corpus + %lld edit, %lld steps, "
+               "%lld comparisons\n",
+               static_cast<long long>(corpus_traces),
+               static_cast<long long>(edit_traces),
+               static_cast<long long>(stats.mutation_steps),
+               static_cast<long long>(stats.comparisons));
+  if (!Flags().single_seed && cases >= 1000) {
+    // Acceptance floor (ISSUE 7): >= 1000 seeded edit steps, each
+    // asserting bit-exact agreement of every delta path.
+    EXPECT_GE(stats.mutation_steps, 1000);
   }
 }
 
@@ -258,6 +317,9 @@ void ParseFuzzFlags(int argc, char** argv) {
   if (const char* env = std::getenv("RANKTIES_FUZZ_CASES")) {
     flags.cases = static_cast<std::int64_t>(ParseU64(env));
   }
+  if (const char* env = std::getenv("RANKTIES_FUZZ_MAX_CASES")) {
+    flags.max_cases = static_cast<std::int64_t>(ParseU64(env));
+  }
   if (const char* env = std::getenv("RANKTIES_FUZZ_FAILURE_FILE")) {
     flags.failure_file = env;
   }
@@ -272,6 +334,8 @@ void ParseFuzzFlags(int argc, char** argv) {
       flags.seed_base = ParseU64(arg + 12);
     } else if (std::strncmp(arg, "--cases=", 8) == 0) {
       flags.cases = static_cast<std::int64_t>(ParseU64(arg + 8));
+    } else if (std::strncmp(arg, "--max-cases=", 12) == 0) {
+      flags.max_cases = static_cast<std::int64_t>(ParseU64(arg + 12));
     } else if (std::strncmp(arg, "--failure-file=", 15) == 0) {
       flags.failure_file = arg + 15;
     } else if (std::strcmp(arg, "--obs") == 0) {

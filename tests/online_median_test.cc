@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "core/median_rank.h"
 #include "gen/random_orders.h"
 #include "util/rng.h"
@@ -61,6 +63,100 @@ TEST(OnlineMedianTest, TopKConsistent) {
   auto batch_topk = MedianAggregateTopK(so_far, 3, MedianPolicy::kLower);
   ASSERT_TRUE(online_topk.ok() && batch_topk.ok());
   EXPECT_EQ(*online_topk, *batch_topk);
+}
+
+// Metamorphic: the aggregate is a per-element median, so it cannot depend
+// on the order voters arrive in. 200 seeded corpora, each added to the
+// aggregator in a random permutation of voter order, must reproduce the
+// batch scores and top-k of the unpermuted corpus exactly.
+TEST(OnlineMedianTest, VoterOrderPermutationInvariance) {
+  Rng rng(0x5EED0207);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(2, 16));
+    const std::size_t m = static_cast<std::size_t>(rng.UniformInt(1, 7));
+    std::vector<BucketOrder> voters;
+    voters.reserve(m);
+    for (std::size_t v = 0; v < m; ++v) {
+      voters.push_back(trial % 3 == 0 ? RandomFewValued(n, 4.0, rng)
+                                      : RandomBucketOrder(n, rng));
+    }
+    auto batch = MedianRankScoresQuad(voters, MedianPolicy::kLower);
+    ASSERT_TRUE(batch.ok());
+    const std::size_t k = static_cast<std::size_t>(
+        rng.UniformInt(1, static_cast<std::int64_t>(n)));
+    auto batch_topk = MedianAggregateTopK(voters, k, MedianPolicy::kLower);
+    ASSERT_TRUE(batch_topk.ok());
+
+    std::vector<std::size_t> arrival(m);
+    std::iota(arrival.begin(), arrival.end(), 0u);
+    rng.Shuffle(arrival);
+    OnlineMedianAggregator online(n);
+    for (std::size_t index : arrival) {
+      ASSERT_TRUE(online.AddVoter(voters[index]).ok());
+    }
+    auto scores = online.ScoresQuad();
+    ASSERT_TRUE(scores.ok());
+    EXPECT_EQ(*scores, *batch) << "trial " << trial << " n=" << n
+                               << " m=" << m;
+    auto online_topk = online.CurrentTopK(k);
+    ASSERT_TRUE(online_topk.ok());
+    EXPECT_EQ(*online_topk, *batch_topk)
+        << "trial " << trial << " k=" << k;
+  }
+}
+
+TEST(OnlineMedianTest, UpdateVoterMatchesBatchRecompute) {
+  Rng rng(4);
+  const std::size_t n = 14;
+  OnlineMedianAggregator online(n);
+  std::vector<BucketOrder> voters;
+  for (int v = 0; v < 6; ++v) {
+    voters.push_back(RandomBucketOrder(n, rng));
+    ASSERT_TRUE(online.AddVoter(voters.back()).ok());
+  }
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t index = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(voters.size()) - 1));
+    voters[index] = RandomBucketOrder(n, rng);
+    ASSERT_TRUE(online.UpdateVoter(index, voters[index]).ok());
+    auto scores = online.ScoresQuad();
+    auto batch = MedianRankScoresQuad(voters, MedianPolicy::kLower);
+    ASSERT_TRUE(scores.ok() && batch.ok());
+    ASSERT_EQ(*scores, *batch) << "round " << round;
+  }
+  EXPECT_FALSE(online.UpdateVoter(voters.size(), voters[0]).ok());
+  EXPECT_FALSE(online.UpdateVoter(0, BucketOrder::SingleBucket(n + 1)).ok());
+}
+
+TEST(OnlineMedianTest, RemoveVoterMatchesBatchRecompute) {
+  Rng rng(5);
+  const std::size_t n = 11;
+  OnlineMedianAggregator online(n);
+  std::vector<BucketOrder> voters;
+  for (int v = 0; v < 7; ++v) {
+    voters.push_back(RandomFewValued(n, 3.0, rng));
+    ASSERT_TRUE(online.AddVoter(voters.back()).ok());
+  }
+  while (voters.size() > 1) {
+    const std::size_t index = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(voters.size()) - 1));
+    ASSERT_TRUE(online.RemoveVoter(index).ok());
+    // Mirror the aggregator's swap-with-last bookkeeping.
+    voters[index] = std::move(voters.back());
+    voters.pop_back();
+    EXPECT_EQ(online.num_voters(), voters.size());
+    auto scores = online.ScoresQuad();
+    auto batch = MedianRankScoresQuad(voters, MedianPolicy::kLower);
+    ASSERT_TRUE(scores.ok() && batch.ok());
+    ASSERT_EQ(*scores, *batch) << voters.size() << " voters left";
+  }
+  ASSERT_TRUE(online.RemoveVoter(0).ok());
+  EXPECT_EQ(online.num_voters(), 0u);
+  EXPECT_FALSE(online.ScoresQuad().ok());  // back to the empty state
+  EXPECT_FALSE(online.RemoveVoter(0).ok());
+  // The aggregator is reusable after draining to empty.
+  ASSERT_TRUE(online.AddVoter(BucketOrder::SingleBucket(n)).ok());
+  EXPECT_TRUE(online.ScoresQuad().ok());
 }
 
 TEST(OnlineMedianTest, Validation) {
