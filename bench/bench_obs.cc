@@ -3,6 +3,11 @@
 // Measures what the src/obs subsystem costs the hot paths it instruments:
 //  * end-to-end — DistanceMatrix wall time with collection + tracing ON vs
 //    OFF, reported as overhead_pct (the CI bench gate asserts < 2%);
+//  * full pipeline — the gated bench_pairwise case shapes (m=64, n=1000,
+//    Kprof/KHaus/FHaus, threads=1, tied inputs) with the entire telemetry
+//    pipeline live: metrics + trace recorder + flight recorder + a 100 ms
+//    background sampler + an enclosing query unit, vs everything off.
+//    Reported as obs_pipeline_overhead; the CI bench gate asserts < 1%;
 //  * primitives — ns/op of Counter::Add, Histogram::Record, and a
 //    TraceSpan while recording.
 //
@@ -13,6 +18,8 @@
 // `bench_obs --json` emits rankties-bench-v2 JSON (with a populated
 // metrics block) for the CI bench-regression gate.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -20,6 +27,7 @@
 #include "bench_json.h"
 #include "core/batch_engine.h"
 #include "gen/mallows.h"
+#include "gen/random_orders.h"
 #include "obs/obs.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -30,7 +38,7 @@ namespace {
 
 constexpr std::size_t kLists = 48;
 constexpr std::size_t kDomain = 600;
-constexpr int kReps = 12;  // best-of needs headroom on noisy CI runners
+constexpr int kReps = 150;  // median-of-ratios pool; one rep is ~1 ms
 constexpr std::int64_t kPrimitiveOps = 1'000'000;
 
 #ifdef RANKTIES_OBS_DISABLED
@@ -62,20 +70,33 @@ double TimeMatrixOnce(const std::vector<BucketOrder>& lists) {
 struct OverheadResult {
   double baseline_seconds = 0.0;
   double enabled_seconds = 0.0;
-  double OverheadPct() const {
-    return baseline_seconds <= 0.0
-               ? 0.0
-               : (enabled_seconds / baseline_seconds - 1.0) * 100.0;
-  }
+  /// Median per-pair on/off ratio, as a percentage (see MedianRatioPct).
+  double overhead_pct = 0.0;
 };
 
-// Alternates OFF/ON reps (resists thermal and scheduler drift) and keeps
-// the best rep of each configuration: best-of is the standard noise-robust
-// estimator for "how fast can this go".
+// Shared estimator: the median of per-pair on/off ratios. Machine-level
+// drift (frequency scaling, host steal) is time-correlated, so it hits an
+// adjacent off/on pair equally and the pair's ratio stays clean, while
+// two global best-of minima can land in different drift phases and skew
+// either way by several percent — fatal under a 1-2% gate.
+double MedianRatioPct(std::vector<double> ratios) {
+  if (ratios.empty()) return 0.0;
+  std::sort(ratios.begin(), ratios.end());
+  const std::size_t mid = ratios.size() / 2;
+  const double median = ratios.size() % 2 == 1
+                            ? ratios[mid]
+                            : 0.5 * (ratios[mid - 1] + ratios[mid]);
+  return (median - 1.0) * 100.0;
+}
+
+// Alternates OFF/ON reps; reports best-of seconds for context and the
+// median pair ratio as the gated overhead number.
 OverheadResult MeasureOverhead() {
   const std::vector<BucketOrder> lists = MakeLists(kLists, kDomain);
   OverheadResult result;
   TimeMatrixOnce(lists);  // warm-up (page-in, pool spin-up)
+  std::vector<double> ratios;
+  ratios.reserve(kReps);
   for (int rep = 0; rep < kReps; ++rep) {
     obs::SetEnabled(false);
     const double off = TimeMatrixOnce(lists);
@@ -90,8 +111,97 @@ OverheadResult MeasureOverhead() {
     if (rep == 0 || on < result.enabled_seconds) {
       result.enabled_seconds = on;
     }
+    if (off > 0.0) ratios.push_back(on / off);
+  }
+  result.overhead_pct = MedianRatioPct(std::move(ratios));
+  obs::SetEnabled(false);
+  return result;
+}
+
+// Same tied-input recipe as the gated bench_pairwise cases, so the
+// pipeline overhead is measured on the shapes the speedup gate watches.
+std::vector<BucketOrder> MakeTiedLists(std::size_t m, std::size_t n,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  const Permutation center = Permutation::Random(n, rng);
+  std::vector<BucketOrder> lists;
+  lists.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i % 2 == 0) {
+      lists.push_back(QuantizedMallows(center, 0.7, 8, rng));
+    } else {
+      lists.push_back(RandomFewValued(n, 6.0, rng));
+    }
+  }
+  return lists;
+}
+
+constexpr std::size_t kPipelineLists = 64;
+constexpr std::size_t kPipelineDomain = 1000;
+// The <1% gate leaves little noise headroom, so the pipeline draws far
+// more rep pairs than kReps: one pair is ~5 ms, median noise shrinks as
+// 1/sqrt(pairs), and 120 pairs keep the median ratio (see
+// MeasurePipelineOverhead) stable under 1% even on a single-core host.
+constexpr int kPipelineReps = 120;
+// Production-style sampling cadence (matches the docs example). The
+// period matters on small runners: the sampler is an extra thread, and on
+// a single-core machine every snapshot steals time from the measured
+// thread itself — at a period P the steady-state steal is snapshot_cost/P,
+// so an aggressive cadence puts a floor under the measurable overhead
+// that has nothing to do with the instrumented call sites.
+constexpr std::chrono::milliseconds kPipelineSamplerPeriod{100};
+
+double TimeMatrixOnce(MetricKind kind,
+                      const std::vector<BucketOrder>& lists) {
+  Stopwatch watch;
+  const std::vector<std::vector<double>> matrix =
+      DistanceMatrix(kind, lists);
+  const double seconds = watch.Seconds();
+  if (matrix.empty()) std::abort();  // keep the result observable
+  return seconds;
+}
+
+// Everything-on vs everything-off on one gated bench_pairwise shape.
+// "On" is the full pipeline a production-style deployment would run:
+// metrics, span recording, flight recorder, a 100 ms background sampler,
+// and a query unit attributing the work. Same median-of-pair-ratios
+// estimator as MeasureOverhead, with a deeper pool for the tighter gate.
+OverheadResult MeasurePipelineOverhead(MetricKind kind) {
+  const std::vector<BucketOrder> lists =
+      MakeTiedLists(kPipelineLists, kPipelineDomain,
+                    7000 * kPipelineLists + kPipelineDomain +
+                        static_cast<std::uint64_t>(kind));
+  OverheadResult result;
+  TimeMatrixOnce(kind, lists);  // warm-up
+  std::vector<double> ratios;
+  ratios.reserve(kPipelineReps);
+  for (int rep = 0; rep < kPipelineReps; ++rep) {
+    obs::SetEnabled(false);
+    obs::FlightRecorder::Global().SetEnabled(false);
+    const double off = TimeMatrixOnce(kind, lists);
+    if (rep == 0 || off < result.baseline_seconds) {
+      result.baseline_seconds = off;
+    }
+
+    obs::SetEnabled(true);
+    obs::TraceRecorder::Global().Start();
+    obs::FlightRecorder::Global().SetEnabled(true);
+    obs::Sampler::Global().Start(kPipelineSamplerPeriod);
+    double on;
+    {
+      obs::QueryUnitScope unit("bench.obs.pipeline");
+      on = TimeMatrixOnce(kind, lists);
+    }
+    obs::Sampler::Global().Stop();
+    obs::FlightRecorder::Global().SetEnabled(false);
+    obs::TraceRecorder::Global().Stop();
+    if (rep == 0 || on < result.enabled_seconds) {
+      result.enabled_seconds = on;
+    }
+    if (off > 0.0) ratios.push_back(on / off);
   }
   obs::SetEnabled(false);
+  result.overhead_pct = MedianRatioPct(std::move(ratios));
   return result;
 }
 
@@ -134,6 +244,22 @@ double TraceSpanNsPerOp() {
 
 int RunJsonMode() {
   const OverheadResult overhead = MeasureOverhead();
+
+  // Pipeline cases run at one thread, like the bench_pairwise gate.
+  ThreadPool::SetGlobalThreads(1);
+  const MetricKind pipeline_kinds[] = {MetricKind::kKprof,
+                                       MetricKind::kKHaus,
+                                       MetricKind::kFHaus};
+  struct PipelineRow {
+    MetricKind kind;
+    OverheadResult overhead;
+  };
+  std::vector<PipelineRow> pipeline;
+  for (MetricKind kind : pipeline_kinds) {
+    pipeline.push_back(PipelineRow{kind, MeasurePipelineOverhead(kind)});
+  }
+  ThreadPool::SetGlobalThreads(0);  // restore the default pool
+
   const double counter_enabled_ns = CounterAddNsPerOp(true);
   const double counter_disabled_ns = CounterAddNsPerOp(false);
   const double histogram_ns = HistogramRecordNsPerOp();
@@ -149,7 +275,23 @@ int RunJsonMode() {
         .Int("reps", kReps)
         .Num("seconds_baseline", overhead.baseline_seconds)
         .Num("seconds_enabled", overhead.enabled_seconds)
-        .Num("overhead_pct", overhead.OverheadPct())
+        .Num("overhead_pct", overhead.overhead_pct)
+        .Bool("compiled_out", kCompiledOut)
+        .Bool("gate_eligible", true);
+    records.push_back(record);
+  }
+  for (const PipelineRow& row : pipeline) {
+    benchjson::Record record;
+    record.Str("name", "obs_pipeline_overhead")
+        .Str("workload", "distance_matrix")
+        .Str("metric", MetricName(row.kind))
+        .Int("lists", static_cast<long long>(kPipelineLists))
+        .Int("n", static_cast<long long>(kPipelineDomain))
+        .Int("threads", 1)
+        .Int("reps", kPipelineReps)
+        .Num("seconds_baseline", row.overhead.baseline_seconds)
+        .Num("seconds_enabled", row.overhead.enabled_seconds)
+        .Num("overhead_pct", row.overhead.overhead_pct)
         .Bool("compiled_out", kCompiledOut)
         .Bool("gate_eligible", true);
     records.push_back(record);
@@ -195,13 +337,31 @@ void RunHumanMode() {
   std::printf("=== src/obs instrumentation overhead (%s build) ===\n",
               kCompiledOut ? "RANKTIES_OBS_DISABLED" : "instrumented");
   const OverheadResult overhead = MeasureOverhead();
-  std::printf("\nDistanceMatrix(Kprof, m=%zu, n=%zu), best of %d reps:\n",
-              kLists, kDomain, kReps);
-  std::printf("  collection off : %.6f s\n", overhead.baseline_seconds);
+  std::printf(
+      "\nDistanceMatrix(Kprof, m=%zu, n=%zu), median ratio of %d off/on "
+      "rep pairs:\n",
+      kLists, kDomain, kReps);
+  std::printf("  collection off : %.6f s (best rep)\n",
+              overhead.baseline_seconds);
   std::printf("  collection on  : %.6f s (counters + trace recording)\n",
               overhead.enabled_seconds);
   std::printf("  overhead       : %+.3f%%  (target < 2%%)\n",
-              overhead.OverheadPct());
+              overhead.overhead_pct);
+  std::printf(
+      "\nfull pipeline (metrics + spans + flight + 100ms sampler + query "
+      "unit),\nDistanceMatrix m=%zu n=%zu threads=1, median ratio of %d "
+      "off/on rep pairs:\n",
+      kPipelineLists, kPipelineDomain, kPipelineReps);
+  ThreadPool::SetGlobalThreads(1);
+  for (MetricKind kind :
+       {MetricKind::kKprof, MetricKind::kKHaus, MetricKind::kFHaus}) {
+    const OverheadResult pipeline = MeasurePipelineOverhead(kind);
+    std::printf("  %-6s off %.6f s  on %.6f s  overhead %+.3f%%  "
+                "(target < 1%%)\n",
+                MetricName(kind), pipeline.baseline_seconds,
+                pipeline.enabled_seconds, pipeline.overhead_pct);
+  }
+  ThreadPool::SetGlobalThreads(0);
   std::printf("\nprimitives (ns/op):\n");
   std::printf("  Counter::Add enabled           : %8.2f\n",
               CounterAddNsPerOp(true));

@@ -2,7 +2,9 @@
 // paper's machinery can be driven from shell scripts without writing C++.
 //
 // Usage:
-//   rank_tool [--threads N] [--trace=<file>] [--metrics] <command> ...
+//   rank_tool [--threads N] [--trace=<file>] [--metrics]
+//             [--metrics-out <file>] [--openmetrics=<file>]
+//             [--perfetto=<file>] [--flight-dump=<file>] <command> ...
 //
 //   --threads N sets the worker count for the batch metric engine (dist and
 //   agg use it); it overrides the RANKTIES_THREADS environment variable.
@@ -10,6 +12,16 @@
 //   rankties-trace-v1 JSON document (see docs/OBSERVABILITY.md) to <file>.
 //   --metrics enables metric collection and prints the counter/histogram
 //   snapshot as one JSON object on stdout after the command output.
+//   --metrics-out <file> writes the same bare metrics JSON object to <file>.
+//   --openmetrics=<file> writes an OpenMetrics text exposition (counters,
+//   histograms, query-unit costs, SLO checks) to <file>.
+//   --perfetto=<file> records trace spans and writes Chrome trace-event
+//   JSON to <file> (loads in ui.perfetto.dev / chrome://tracing).
+//   --flight-dump=<file> enables the flight recorder and writes the
+//   rankties-flight-v1 event dump to <file>.
+//   The command runs inside a "rank_tool.<command>" query unit, so the
+//   OpenMetrics export carries its attributed costs. Any failed export
+//   write makes the exit status nonzero.
 //
 //   rank_tool dist <file>              pairwise distance matrices (all four
 //                                      metrics) over the bucket orders in
@@ -240,6 +252,10 @@ int Dispatch(int argc, char** argv) {
 int main(int argc, char** argv) {
   // Peel off the global flags before command dispatch.
   std::string trace_path;
+  std::string metrics_out_path;
+  std::string openmetrics_path;
+  std::string perfetto_path;
+  std::string flight_path;
   bool print_metrics = false;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
@@ -260,25 +276,74 @@ int main(int argc, char** argv) {
     } else if (flag == "--metrics") {
       print_metrics = true;
       arg += 1;
+    } else if (flag == "--metrics-out") {
+      if (arg + 1 >= argc) return Fail("--metrics-out needs a file path");
+      metrics_out_path = argv[arg + 1];
+      arg += 2;
+    } else if (flag.rfind("--openmetrics=", 0) == 0) {
+      openmetrics_path = flag.substr(14);
+      if (openmetrics_path.empty()) {
+        return Fail("--openmetrics needs a file path");
+      }
+      arg += 1;
+    } else if (flag.rfind("--perfetto=", 0) == 0) {
+      perfetto_path = flag.substr(11);
+      if (perfetto_path.empty()) return Fail("--perfetto needs a file path");
+      arg += 1;
+    } else if (flag.rfind("--flight-dump=", 0) == 0) {
+      flight_path = flag.substr(14);
+      if (flight_path.empty()) {
+        return Fail("--flight-dump needs a file path");
+      }
+      arg += 1;
     } else {
       return Fail("unknown flag '" + flag + "'");
     }
   }
-  if (!trace_path.empty() || print_metrics) {
-    obs::SetEnabled(true);
-    if (!trace_path.empty()) obs::TraceRecorder::Global().Start();
+  const bool want_spans = !trace_path.empty() || !perfetto_path.empty();
+  const bool want_metrics = want_spans || print_metrics ||
+                            !metrics_out_path.empty() ||
+                            !openmetrics_path.empty();
+  if (want_metrics) obs::SetEnabled(true);
+  if (want_spans) obs::TraceRecorder::Global().Start();
+  if (!flight_path.empty()) obs::FlightRecorder::Global().SetEnabled(true);
+
+  int rc;
+  {
+    // Attribute the whole command to one query unit so per-command costs
+    // show up in the OpenMetrics export.
+    const char* cmd = arg < argc ? argv[arg] : "none";
+    // Unit name is dynamic by design: one unit per CLI command.
+    obs::QueryUnitScope unit(  // rankties-lint: allow(RT007)
+        std::string("rank_tool.") + cmd);
+    rc = Dispatch(argc - (arg - 1), argv + (arg - 1));
   }
 
-  const int rc = Dispatch(argc - (arg - 1), argv + (arg - 1));
-
-  if (!trace_path.empty()) {
-    obs::TraceRecorder::Global().Stop();
-    if (!obs::WriteTraceJson(trace_path)) {
-      return Fail("cannot write trace to '" + trace_path + "'");
-    }
+  if (want_spans) obs::TraceRecorder::Global().Stop();
+  bool export_failed = false;
+  if (!trace_path.empty() && !obs::WriteTraceJson(trace_path)) {
+    Fail("cannot write trace to '" + trace_path + "'");
+    export_failed = true;
+  }
+  if (!perfetto_path.empty() && !obs::WritePerfettoJson(perfetto_path)) {
+    Fail("cannot write perfetto trace to '" + perfetto_path + "'");
+    export_failed = true;
+  }
+  if (!metrics_out_path.empty() && !obs::WriteMetricsJson(metrics_out_path)) {
+    Fail("cannot write metrics to '" + metrics_out_path + "'");
+    export_failed = true;
+  }
+  if (!openmetrics_path.empty() && !obs::WriteOpenMetrics(openmetrics_path)) {
+    Fail("cannot write openmetrics to '" + openmetrics_path + "'");
+    export_failed = true;
+  }
+  if (!flight_path.empty() && !obs::WriteFlightJson(flight_path)) {
+    Fail("cannot write flight dump to '" + flight_path + "'");
+    export_failed = true;
   }
   if (print_metrics) {
     std::printf("%s\n", obs::MetricsJsonObject().c_str());
   }
+  if (export_failed && rc == 0) rc = 1;
   return rc;
 }

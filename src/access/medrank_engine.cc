@@ -50,6 +50,9 @@ StatusOr<MedrankResult> MedrankTopK(
   span.SetItems(result.total_accesses);
   RANKTIES_OBS_COUNT("access.medrank.sorted_accesses", result.total_accesses);
   RANKTIES_OBS_RECORD("access.medrank.depth", result.depth);
+  RANKTIES_FLIGHT(obs::FlightEventId::kMedrankRun,
+                  static_cast<std::int64_t>(k), result.total_accesses,
+                  result.depth);
   return result;
 }
 

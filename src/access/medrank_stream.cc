@@ -53,6 +53,9 @@ std::optional<ElementId> MedrankStream::NextWinner() {
         span.SetItems(total_accesses_ - accesses_before);
         RANKTIES_OBS_COUNT("access.medrank_stream.sorted_accesses",
                            total_accesses_ - accesses_before);
+        RANKTIES_FLIGHT(obs::FlightEventId::kMedrankStreamWinner,
+                        static_cast<std::int64_t>(access->element),
+                        total_accesses_);
         return access->element;
       }
     }

@@ -150,6 +150,8 @@ StatusOr<NraMedianResult> NraMedianTopK(
     }
     RANKTIES_OBS_RECORD("access.nra.candidates", candidates);
   }
+  RANKTIES_FLIGHT(obs::FlightEventId::kNraRun,
+                  static_cast<std::int64_t>(k), result.total_accesses);
   if (result.top.empty()) {
     return Status::Internal("NRA failed to certify after exhaustion");
   }

@@ -112,6 +112,9 @@ StatusOr<TaMedianResult> TaMedianTopK(const std::vector<BucketOrder>& inputs,
     for (std::size_t e = 0; e < n; ++e) candidates += scored[e] ? 1 : 0;
     RANKTIES_OBS_RECORD("access.ta.candidates", candidates);
   }
+  RANKTIES_FLIGHT(obs::FlightEventId::kTaRun,
+                  static_cast<std::int64_t>(k), result.sorted_accesses,
+                  result.random_accesses);
 
   // Drain the heap, best last -> reverse.
   std::vector<Entry> entries;

@@ -130,6 +130,9 @@ std::vector<std::vector<double>> DistanceMatrix(
   }
   const std::size_t tiles = tile_offset[rows];
   RANKTIES_OBS_COUNT("batch.tiles", static_cast<std::int64_t>(tiles));
+  RANKTIES_FLIGHT(obs::FlightEventId::kBatchMatrix,
+                  static_cast<std::int64_t>(m), pairs,
+                  static_cast<std::int64_t>(tiles));
 
   ParallelFor(0, tiles, 1, [&](std::size_t lo, std::size_t hi) {
     obs::ScopedHistogramTimer shard_timer(ShardTimeHistogram());
@@ -210,6 +213,8 @@ std::vector<double> DistancesToAll(MetricKind kind,
   span.SetItems(static_cast<std::int64_t>(lists.size()));
   RANKTIES_OBS_COUNT("batch.metric_evals",
                      static_cast<std::int64_t>(lists.size()));
+  RANKTIES_FLIGHT(obs::FlightEventId::kBatchDistancesToAll,
+                  static_cast<std::int64_t>(lists.size()));
   const PreparedRanking prepared_candidate(candidate);
   const std::vector<PreparedRanking> prepared = PrepareAll(lists);
   ParallelFor(0, lists.size(), AutoGrain(lists.size()),
@@ -249,6 +254,9 @@ StatusOr<BestCandidateResult> BestOfCandidates(
   obs::TraceSpan span("batch.best_of_candidates");
   span.SetItems(static_cast<std::int64_t>(c * l));
   RANKTIES_OBS_COUNT("batch.metric_evals", static_cast<std::int64_t>(c * l));
+  RANKTIES_FLIGHT(obs::FlightEventId::kBatchBestOf,
+                  static_cast<std::int64_t>(c),
+                  static_cast<std::int64_t>(l));
   const std::vector<PreparedRanking> prepared_candidates =
       PrepareAll(candidates);
   const std::vector<PreparedRanking> prepared_lists = PrepareAll(lists);
@@ -459,6 +467,10 @@ Status IncrementalDistanceMatrix::MoveToBucket(std::size_t list, ElementId e,
     Status moved = ranking.MoveToBucket(e, target_bucket);
     if (!moved.ok()) return moved;
     RefreshRow(list);
+    RANKTIES_FLIGHT(obs::FlightEventId::kIncrementalMove,
+                    static_cast<std::int64_t>(list),
+                    static_cast<std::int64_t>(e),
+                    static_cast<std::int64_t>(prepared_.size()) - 1);
     return Status::Ok();
   }
   // Snapshot the relations that can change — pairs (e, x) with x in the
@@ -470,6 +482,10 @@ Status IncrementalDistanceMatrix::MoveToBucket(std::size_t list, ElementId e,
   if (!moved.ok()) return moved;
   FinishAffected(ranking, e);
   ApplyCountDeltas(list, affected_scratch_);
+  RANKTIES_FLIGHT(obs::FlightEventId::kIncrementalMove,
+                  static_cast<std::int64_t>(list),
+                  static_cast<std::int64_t>(e),
+                  static_cast<std::int64_t>(prepared_.size()) - 1);
   return Status::Ok();
 }
 
@@ -499,6 +515,10 @@ Status IncrementalDistanceMatrix::MoveToNewBucket(std::size_t list,
     Status moved = ranking.MoveToNewBucket(e, before_bucket);
     if (!moved.ok()) return moved;
     RefreshRow(list);
+    RANKTIES_FLIGHT(obs::FlightEventId::kIncrementalMove,
+                    static_cast<std::int64_t>(list),
+                    static_cast<std::int64_t>(e),
+                    static_cast<std::int64_t>(prepared_.size()) - 1);
     return Status::Ok();
   }
   // Relations change only against elements e crosses: buckets [pos, src]
@@ -510,6 +530,10 @@ Status IncrementalDistanceMatrix::MoveToNewBucket(std::size_t list,
   if (!moved.ok()) return moved;
   FinishAffected(ranking, e);
   ApplyCountDeltas(list, affected_scratch_);
+  RANKTIES_FLIGHT(obs::FlightEventId::kIncrementalMove,
+                  static_cast<std::int64_t>(list),
+                  static_cast<std::int64_t>(e),
+                  static_cast<std::int64_t>(prepared_.size()) - 1);
   return Status::Ok();
 }
 
@@ -550,6 +574,9 @@ Status IncrementalDistanceMatrix::ReplaceList(std::size_t list,
   }
   prepared_[list] = PreparedRanking(order);
   RefreshRow(list);
+  RANKTIES_FLIGHT(obs::FlightEventId::kIncrementalReplace,
+                  static_cast<std::int64_t>(list),
+                  static_cast<std::int64_t>(prepared_.size()) - 1);
   return Status::Ok();
 }
 

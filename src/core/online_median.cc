@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/contracts.h"
 
 namespace rankties {
@@ -75,6 +76,12 @@ Status OnlineMedianAggregator::AddVoter(const BucketOrder& voter) {
   }
   voter_positions_.push_back(std::move(row));
   num_voters_ = m;
+  RANKTIES_OBS_COUNT("online_median.add_voters", 1);
+  RANKTIES_OBS_COUNT("online_median.elements_touched",
+                     static_cast<std::int64_t>(n()));
+  RANKTIES_FLIGHT(obs::FlightEventId::kOnlineMedianAdd,
+                  static_cast<std::int64_t>(m - 1),
+                  static_cast<std::int64_t>(n()));
   return Status::Ok();
 }
 
@@ -88,6 +95,7 @@ Status OnlineMedianAggregator::UpdateVoter(std::size_t index,
   }
   const std::size_t target = (num_voters_ + 1) / 2;
   std::vector<std::int64_t>& row = voter_positions_[index];
+  std::int64_t touched = 0;
   for (std::size_t e = 0; e < n(); ++e) {
     const std::int64_t value =
         voter.TwicePosition(static_cast<ElementId>(e));
@@ -97,7 +105,12 @@ Status OnlineMedianAggregator::UpdateVoter(std::size_t index,
     state.Insert(value);
     state.Rebalance(target);
     row[e] = value;
+    ++touched;
   }
+  RANKTIES_OBS_COUNT("online_median.update_voters", 1);
+  RANKTIES_OBS_COUNT("online_median.elements_touched", touched);
+  RANKTIES_FLIGHT(obs::FlightEventId::kOnlineMedianUpdate,
+                  static_cast<std::int64_t>(index), touched);
   return Status::Ok();
 }
 
@@ -118,6 +131,12 @@ Status OnlineMedianAggregator::RemoveVoter(std::size_t index) {
   voter_positions_[index] = std::move(voter_positions_.back());
   voter_positions_.pop_back();
   num_voters_ = m;
+  RANKTIES_OBS_COUNT("online_median.remove_voters", 1);
+  RANKTIES_OBS_COUNT("online_median.elements_touched",
+                     static_cast<std::int64_t>(n()));
+  RANKTIES_FLIGHT(obs::FlightEventId::kOnlineMedianRemove,
+                  static_cast<std::int64_t>(index),
+                  static_cast<std::int64_t>(m));
   return Status::Ok();
 }
 

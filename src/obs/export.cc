@@ -1,9 +1,12 @@
 #include "obs/export.h"
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace rankties {
@@ -11,15 +14,42 @@ namespace obs {
 
 namespace {
 
+/// JSON string-body escaping: the two mandatory escapes, the common
+/// whitespace shorthands, and \u00XX for the remaining control bytes.
+/// Everything else (including multi-byte UTF-8) passes through verbatim.
 void AppendEscaped(std::string& out, const std::string& raw) {
   for (const char c : raw) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
     }
   }
 }
@@ -79,6 +109,79 @@ void AppendMetricsObject(std::string& out) {
   out += "}}";
 }
 
+/// OpenMetrics label-value escaping: backslash, double quote, newline.
+void AppendOmLabelValue(std::string& out, const std::string& raw) {
+  for (const char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// One `family{label="value", ...} number` exposition line.
+void AppendOmSample(
+    std::string& out, const char* family,
+    const std::vector<std::pair<const char*, std::string>>& labels,
+    std::int64_t value) {
+  out += family;
+  out += "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    AppendOmLabelValue(out, labels[i].second);
+    out += "\"";
+  }
+  out += "} ";
+  AppendInt(out, value);
+  out += "\n";
+}
+
+/// Cumulative histogram exposition under `family` with an extra
+/// identifying label (name= or unit=): _bucket lines ending at le="+Inf",
+/// then _sum and _count.
+void AppendOmHistogram(
+    std::string& out, const char* family, const char* id_label,
+    const std::string& id_value,
+    const std::array<std::int64_t, kHistogramBuckets>& buckets,
+    std::int64_t count, std::int64_t sum) {
+  std::int64_t cumulative = 0;
+  std::string bucket_family = std::string(family) + "_bucket";
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;  // sparse: only buckets that moved
+    cumulative += buckets[b];
+    char le[32];
+    std::snprintf(le, sizeof(le), "%lld",
+                  static_cast<long long>(Histogram::BucketUpperEdge(b)));
+    AppendOmSample(out, bucket_family.c_str(),
+                   {{id_label, id_value}, {"le", le}}, cumulative);
+  }
+  AppendOmSample(out, bucket_family.c_str(),
+                 {{id_label, id_value}, {"le", "+Inf"}}, count);
+  AppendOmSample(out, (std::string(family) + "_sum").c_str(),
+                 {{id_label, id_value}}, sum);
+  AppendOmSample(out, (std::string(family) + "_count").c_str(),
+                 {{id_label, id_value}}, count);
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), out);
+  if (written != content.size()) {
+    std::fclose(out);
+    return false;
+  }
+  return std::fclose(out) == 0;
+}
+
 }  // namespace
 
 std::string MetricsJsonObject() {
@@ -123,15 +226,153 @@ std::string TraceJsonDocument() {
   return out;
 }
 
+std::string OpenMetricsText() {
+  std::string out;
+  out += "# TYPE rankties_counter counter\n";
+  out += "# HELP rankties_counter Registry counters; the rankties name is "
+         "the name label.\n";
+  for (const CounterSnapshot& counter :
+       Registry::Global().CounterSnapshots()) {
+    AppendOmSample(out, "rankties_counter_total", {{"name", counter.name}},
+                   counter.value);
+  }
+  out += "# TYPE rankties_histogram histogram\n";
+  out += "# HELP rankties_histogram Registry histograms (log2 buckets, "
+         "inclusive integer upper edges).\n";
+  for (const HistogramSnapshot& histogram :
+       Registry::Global().HistogramSnapshots()) {
+    AppendOmHistogram(out, "rankties_histogram", "name", histogram.name,
+                      histogram.buckets, histogram.count, histogram.sum);
+  }
+  const std::vector<QueryUnitSnapshot> units =
+      SloRegistry::Global().UnitSnapshots();
+  out += "# TYPE rankties_query_unit_queries counter\n";
+  for (const QueryUnitSnapshot& unit : units) {
+    AppendOmSample(out, "rankties_query_unit_queries_total",
+                   {{"unit", unit.unit}}, unit.queries);
+  }
+  out += "# TYPE rankties_query_unit_latency_ns histogram\n";
+  for (const QueryUnitSnapshot& unit : units) {
+    AppendOmHistogram(out, "rankties_query_unit_latency_ns", "unit",
+                      unit.unit, unit.latency_buckets, unit.queries,
+                      unit.latency_sum_ns);
+  }
+  out += "# TYPE rankties_query_unit_cost counter\n";
+  out += "# HELP rankties_query_unit_cost Counter increments attributed to "
+         "the unit (Section 6 access costs and friends).\n";
+  out += "# TYPE rankties_query_unit_cost_max gauge\n";
+  for (const QueryUnitSnapshot& unit : units) {
+    for (const QueryUnitCounterCost& cost : unit.costs) {
+      AppendOmSample(out, "rankties_query_unit_cost_total",
+                     {{"unit", unit.unit}, {"counter", cost.counter}},
+                     cost.total);
+      AppendOmSample(out, "rankties_query_unit_cost_max",
+                     {{"unit", unit.unit}, {"counter", cost.counter}},
+                     cost.max_per_query);
+    }
+  }
+  out += "# TYPE rankties_slo_ok gauge\n";
+  out += "# HELP rankties_slo_ok 1 when the declared SLO holds, 0 when "
+         "violated.\n";
+  out += "# TYPE rankties_slo_observed gauge\n";
+  out += "# TYPE rankties_slo_limit gauge\n";
+  for (const SloCheckResult& result : SloRegistry::Global().Evaluate()) {
+    const std::vector<std::pair<const char*, std::string>> labels = {
+        {"unit", result.unit}, {"check", result.check}};
+    AppendOmSample(out, "rankties_slo_ok", labels, result.ok ? 1 : 0);
+    AppendOmSample(out, "rankties_slo_observed", labels,
+                   static_cast<std::int64_t>(result.observed));
+    AppendOmSample(out, "rankties_slo_limit", labels,
+                   static_cast<std::int64_t>(result.limit));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string PerfettoJsonDocument() {
+  const std::vector<SpanRecord> spans = TraceRecorder::Global().Snapshot();
+  std::string out;
+  out.reserve(192 + spans.size() * 128);
+  out += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  out += "  {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+         "\"args\": {\"name\": \"rankties\"}}";
+  for (const SpanRecord& span : spans) {
+    out += ",\n  {\"ph\": \"X\", \"cat\": \"rankties\", \"pid\": 1, ";
+    out += "\"tid\": ";
+    AppendInt(out, static_cast<std::int64_t>(span.thread));
+    out += ", \"name\": \"";
+    AppendEscaped(out, span.name);
+    // Trace-event timestamps are microseconds; doubles keep sub-us
+    // resolution (53 bits cover any realistic steady-clock reading).
+    out += "\", \"ts\": ";
+    AppendNum(out, static_cast<double>(span.start_ns) * 1e-3);
+    out += ", \"dur\": ";
+    AppendNum(out, static_cast<double>(span.duration_ns) * 1e-3);
+    out += ", \"args\": {\"id\": ";
+    AppendInt(out, static_cast<std::int64_t>(span.id));
+    out += ", \"parent\": ";
+    AppendInt(out, static_cast<std::int64_t>(span.parent));
+    if (span.items >= 0) {
+      out += ", \"items\": ";
+      AppendInt(out, span.items);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string FlightJsonDocument() {
+  const FlightRecorder& recorder = FlightRecorder::Global();
+  const std::vector<FlightEvent> events = recorder.Drain();
+  std::string out;
+  out.reserve(160 + events.size() * 80);
+  out += "{\"schema\": \"rankties-flight-v1\", \"clock\": \"steady_ns\", ";
+  out += "\"dropped\": ";
+  AppendInt(out, recorder.dropped());
+  out += ", \"overwritten\": ";
+  AppendInt(out, recorder.overwritten());
+  out += ", \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& event = events[i];
+    if (i) out += ",";
+    out += "\n  {\"ts_ns\": ";
+    AppendInt(out, event.ts_ns);
+    out += ", \"thread\": ";
+    AppendInt(out, static_cast<std::int64_t>(event.thread));
+    out += ", \"event\": \"";
+    AppendEscaped(out,
+                  FlightEventName(static_cast<FlightEventId>(event.event)));
+    out += "\", \"args\": [";
+    AppendInt(out, event.args[0]);
+    out += ", ";
+    AppendInt(out, event.args[1]);
+    out += ", ";
+    AppendInt(out, event.args[2]);
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 bool WriteTraceJson(const std::string& path) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) return false;
-  const std::string document = TraceJsonDocument();
-  const std::size_t written =
-      std::fwrite(document.data(), 1, document.size(), out);
-  const bool ok = written == document.size() && std::fclose(out) == 0;
-  if (!ok && written != document.size()) std::fclose(out);
-  return ok;
+  return WriteTextFile(path, TraceJsonDocument());
+}
+
+bool WriteMetricsJson(const std::string& path) {
+  return WriteTextFile(path, MetricsJsonObject() + "\n");
+}
+
+bool WriteOpenMetrics(const std::string& path) {
+  return WriteTextFile(path, OpenMetricsText());
+}
+
+bool WritePerfettoJson(const std::string& path) {
+  return WriteTextFile(path, PerfettoJsonDocument());
+}
+
+bool WriteFlightJson(const std::string& path) {
+  return WriteTextFile(path, FlightJsonDocument());
 }
 
 }  // namespace obs

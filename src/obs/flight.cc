@@ -1,0 +1,190 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace rankties {
+namespace obs {
+
+const char* FlightEventName(FlightEventId id) {
+  switch (id) {
+    case FlightEventId::kNone:
+      return "none";
+    case FlightEventId::kParallelFor:
+      return "threadpool.parallel_for";
+    case FlightEventId::kBatchMatrix:
+      return "batch.distance_matrix";
+    case FlightEventId::kBatchDistancesToAll:
+      return "batch.distances_to_all";
+    case FlightEventId::kBatchBestOf:
+      return "batch.best_of_candidates";
+    case FlightEventId::kIncrementalMove:
+      return "incremental.move";
+    case FlightEventId::kIncrementalReplace:
+      return "incremental.replace_list";
+    case FlightEventId::kOnlineMedianAdd:
+      return "online_median.add_voter";
+    case FlightEventId::kOnlineMedianUpdate:
+      return "online_median.update_voter";
+    case FlightEventId::kOnlineMedianRemove:
+      return "online_median.remove_voter";
+    case FlightEventId::kTaRun:
+      return "access.ta.run";
+    case FlightEventId::kNraRun:
+      return "access.nra.run";
+    case FlightEventId::kMedrankRun:
+      return "access.medrank.run";
+    case FlightEventId::kMedrankStreamWinner:
+      return "access.medrank_stream.winner";
+    case FlightEventId::kQueryUnitBegin:
+      return "slo.query_unit_begin";
+    case FlightEventId::kQueryUnitEnd:
+      return "slo.query_unit_end";
+    case FlightEventId::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+#ifndef RANKTIES_OBS_DISABLED
+
+namespace {
+
+// Dump hook for the contracts layer: bounded, stderr-only, installed on
+// the first SetEnabled(true).
+void FlightFailureHook() {
+  FlightRecorder::Global().DumpToStderr();
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked on purpose: see the class comment.
+  static FlightRecorder* const recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::SetEnabled(bool enabled) {
+  if (enabled) {
+    // Install-once: racing enables both store the same hook, and a user
+    // hook installed later deliberately wins (SetFailureHook replaces).
+    static const bool hook_installed = [] {
+      contracts_internal::SetFailureHook(&FlightFailureHook);
+      return true;
+    }();
+    (void)hook_installed;
+  }
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::RingForThisThread() {
+  thread_local ThreadRing* t_ring = [this]() -> ThreadRing* {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    if (rings_.size() >= kMaxThreads) return nullptr;
+    auto* ring = new ThreadRing(static_cast<std::uint32_t>(rings_.size()));
+    rings_.push_back(ring);
+    return ring;
+  }();
+  return t_ring;
+}
+
+void FlightRecorder::Record(FlightEventId id, std::int64_t a0,
+                            std::int64_t a1, std::int64_t a2) {
+  if (!enabled()) return;
+  ThreadRing* ring = RingForThisThread();
+  if (ring == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head % kEventsPerThread];
+  slot.ts_ns.store(MonotonicNanos(), std::memory_order_relaxed);
+  slot.event.store(static_cast<std::uint32_t>(id),
+                   std::memory_order_relaxed);
+  slot.a0.store(a0, std::memory_order_relaxed);
+  slot.a1.store(a1, std::memory_order_relaxed);
+  slot.a2.store(a2, std::memory_order_relaxed);
+  // Publish after the payload so a drain at head h sees complete events
+  // below h (only a wrap-around overwrite can tear).
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Drain() const {
+  std::vector<FlightEvent> events;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const ThreadRing* ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t live =
+        std::min<std::uint64_t>(head, kEventsPerThread);
+    for (std::uint64_t i = head - live; i < head; ++i) {
+      const Slot& slot = ring->slots[i % kEventsPerThread];
+      FlightEvent event;
+      event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+      event.event = slot.event.load(std::memory_order_relaxed);
+      event.thread = ring->thread_index;
+      event.args = {slot.a0.load(std::memory_order_relaxed),
+                    slot.a1.load(std::memory_order_relaxed),
+                    slot.a2.load(std::memory_order_relaxed)};
+      events.push_back(event);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+std::int64_t FlightRecorder::overwritten() const {
+  std::int64_t total = 0;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const ThreadRing* ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > kEventsPerThread) {
+      total += static_cast<std::int64_t>(head - kEventsPerThread);
+    }
+  }
+  return total;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (ThreadRing* ring : rings_) {
+    ring->head.store(0, std::memory_order_release);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::DumpToStderr(std::size_t max_events) const {
+  if (max_events == 0) max_events = 64;
+  const std::vector<FlightEvent> events = Drain();
+  const std::size_t shown = std::min(events.size(), max_events);
+  std::fprintf(stderr,
+               "rankties: flight recorder post-mortem: %zu event(s), "
+               "showing newest %zu (dropped %lld, overwritten %lld)\n",
+               events.size(), shown, static_cast<long long>(dropped()),
+               static_cast<long long>(overwritten()));
+  for (std::size_t i = events.size() - shown; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    std::fprintf(stderr, "  [%lld ns] t%u %s (%lld, %lld, %lld)\n",
+                 static_cast<long long>(e.ts_ns), e.thread,
+                 FlightEventName(static_cast<FlightEventId>(e.event)),
+                 static_cast<long long>(e.args[0]),
+                 static_cast<long long>(e.args[1]),
+                 static_cast<long long>(e.args[2]));
+  }
+}
+
+#else  // RANKTIES_OBS_DISABLED
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* const recorder = new FlightRecorder();
+  return *recorder;
+}
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace rankties

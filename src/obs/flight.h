@@ -1,0 +1,198 @@
+#ifndef RANKTIES_OBS_FLIGHT_H_
+#define RANKTIES_OBS_FLIGHT_H_
+
+/// \file
+/// Flight recorder: a lock-free per-thread ring buffer of fixed-size
+/// structured events — the observability layer's black box. Where trace
+/// spans are opt-in and bounded by an explicit Start/Stop window, the
+/// flight recorder is designed to run continuously: each thread owns a
+/// fixed ring of the last kEventsPerThread events (overwrite-oldest, so
+/// memory is bounded forever) and recording one event is a handful of
+/// relaxed atomic stores — no locks, no allocation, no clock seam beyond
+/// one MonotonicNanos() read.
+///
+///   RANKTIES_FLIGHT(FlightEventId::kBatchMatrix, m, pairs, tiles);
+///
+/// The payload is deliberately spartan: a timestamp, a small event id from
+/// the closed enum below, and three int64 arguments whose meaning is
+/// documented per id. No strings on the hot path — names are resolved at
+/// dump time through FlightEventName().
+///
+/// Draining happens on demand (Drain() merges every thread's ring into
+/// one timestamp-sorted vector) or on failure: enabling the recorder
+/// installs a contracts-layer failure hook
+/// (contracts_internal::SetFailureHook) that prints the most recent
+/// events to stderr before a violated RANKTIES_DCHECK aborts, and the
+/// fuzz harness dumps the same post-mortem when a differential check
+/// fails. Concurrent writers never block a drain; an event overwritten
+/// mid-read can be torn (mixed fields), which post-mortem consumers must
+/// tolerate — quiesce writers first when exact replay matters.
+///
+/// With RANKTIES_OBS_DISABLED everything collapses to empty inline
+/// functions and the macro evaluates its arguments into dead locals.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace rankties {
+namespace obs {
+
+/// Closed event-id space. Argument meaning per id is noted inline;
+/// unused arguments are recorded as 0.
+enum class FlightEventId : std::uint32_t {
+  kNone = 0,
+  kParallelFor,          ///< a0 items, a1 grain, a2 helper lanes
+  kBatchMatrix,          ///< a0 lists, a1 pairs, a2 tiles
+  kBatchDistancesToAll,  ///< a0 lists
+  kBatchBestOf,          ///< a0 candidates, a1 lists
+  kIncrementalMove,      ///< a0 list, a1 element, a2 pairs reevaluated
+  kIncrementalReplace,   ///< a0 list, a1 pairs reevaluated
+  kOnlineMedianAdd,      ///< a0 voter index, a1 n
+  kOnlineMedianUpdate,   ///< a0 voter index, a1 elements touched
+  kOnlineMedianRemove,   ///< a0 voter index, a1 voters left
+  kTaRun,                ///< a0 k, a1 sorted accesses, a2 random accesses
+  kNraRun,               ///< a0 k, a1 sorted accesses
+  kMedrankRun,           ///< a0 k, a1 sorted accesses, a2 depth
+  kMedrankStreamWinner,  ///< a0 winner, a1 total accesses so far
+  kQueryUnitBegin,       ///< a0 unit ordinal
+  kQueryUnitEnd,         ///< a0 unit ordinal, a1 active ns this scope
+  kCount,                ///< sentinel, not a real event
+};
+
+/// Static name for `id` ("parallel_for", "ta.run", ...); "unknown" for
+/// out-of-range values (e.g. a torn event).
+const char* FlightEventName(FlightEventId id);
+
+/// One drained event.
+struct FlightEvent {
+  std::int64_t ts_ns = 0;  ///< MonotonicNanos() at record time
+  std::uint32_t event = 0;  ///< FlightEventId
+  std::uint32_t thread = 0;  ///< recorder-assigned dense thread index
+  std::array<std::int64_t, 3> args{};
+};
+
+#ifndef RANKTIES_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  /// Ring capacity per thread. 4096 events * 48 bytes keeps each thread
+  /// under 200 KiB no matter how long the process runs.
+  static constexpr std::size_t kEventsPerThread = 1u << 12;
+  /// Hard cap on registered rings; threads beyond it only bump dropped().
+  static constexpr std::size_t kMaxThreads = 256;
+
+  /// The singleton. Leaked on purpose, like the metric Registry, so
+  /// events recorded during static destruction stay safe.
+  static FlightRecorder& Global();
+
+  /// Turns recording on or off process-wide. The first enable installs
+  /// the contracts-layer failure hook that dumps the recorder to stderr
+  /// before a violated contract aborts (see DumpToStderr).
+  void SetEnabled(bool enabled);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one event on the calling thread's ring (lock-free).
+  void Record(FlightEventId id, std::int64_t a0 = 0, std::int64_t a1 = 0,
+              std::int64_t a2 = 0);
+
+  /// Every live event from every ring, merged and sorted by timestamp.
+  std::vector<FlightEvent> Drain() const;
+
+  /// Events lost because the kMaxThreads ring cap was reached.
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten by ring wrap-around, summed over threads.
+  std::int64_t overwritten() const;
+
+  /// Empties every ring and zeroes dropped() (tests; racing writers may
+  /// land events on either side of the reset).
+  void Clear();
+
+  /// Writes the newest `max_events` events (0 = a small default) to
+  /// stderr, newest last — the post-mortem path, also reachable through
+  /// the contract failure hook.
+  void DumpToStderr(std::size_t max_events = 0) const;
+
+ private:
+  // Stored form of one event: every field is a relaxed atomic so a drain
+  // racing a wrap-around overwrite reads torn values, never UB (and stays
+  // clean under TSan). Relaxed int64 stores cost the same as plain moves.
+  struct Slot {
+    std::atomic<std::int64_t> ts_ns{0};
+    std::atomic<std::uint32_t> event{0};
+    std::atomic<std::int64_t> a0{0};
+    std::atomic<std::int64_t> a1{0};
+    std::atomic<std::int64_t> a2{0};
+  };
+
+  struct ThreadRing {
+    explicit ThreadRing(std::uint32_t index) : thread_index(index) {}
+    std::uint32_t thread_index;
+    /// Total events ever recorded; head % kEventsPerThread is the next
+    /// slot. Published with release so drains see completed payloads.
+    std::atomic<std::uint64_t> head{0};
+    std::array<Slot, kEventsPerThread> slots;
+  };
+
+  FlightRecorder() = default;
+
+  /// The calling thread's ring, registering it on first use; nullptr once
+  /// kMaxThreads rings exist.
+  ThreadRing* RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> dropped_{0};
+  mutable std::mutex rings_mu_;
+  /// Owned rings, never freed (post-mortem dumps outlive their threads).
+  std::vector<ThreadRing*> rings_;  // guarded by rings_mu_
+};
+
+/// Shorthand for FlightRecorder::Global().Record(...) with the enabled
+/// check inlined at the call site.
+inline void FlightRecord(FlightEventId id, std::int64_t a0 = 0,
+                         std::int64_t a1 = 0, std::int64_t a2 = 0) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  if (!recorder.enabled()) return;
+  recorder.Record(id, a0, a1, a2);
+}
+
+#else  // RANKTIES_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kEventsPerThread = 0;
+  static constexpr std::size_t kMaxThreads = 0;
+  static FlightRecorder& Global();
+  void SetEnabled(bool) {}
+  bool enabled() const { return false; }
+  void Record(FlightEventId, std::int64_t = 0, std::int64_t = 0,
+              std::int64_t = 0) {}
+  std::vector<FlightEvent> Drain() const { return {}; }
+  std::int64_t dropped() const { return 0; }
+  std::int64_t overwritten() const { return 0; }
+  void Clear() {}
+  void DumpToStderr(std::size_t = 0) const {}
+};
+
+inline void FlightRecord(FlightEventId, std::int64_t = 0, std::int64_t = 0,
+                         std::int64_t = 0) {}
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace rankties
+
+/// Hot-path event macro; arguments are evaluated (cheap locals) and the
+/// optimizer deletes the call entirely under RANKTIES_OBS_DISABLED.
+#define RANKTIES_FLIGHT(id, ...) \
+  ::rankties::obs::FlightRecord((id), __VA_ARGS__)
+
+#endif  // RANKTIES_OBS_FLIGHT_H_

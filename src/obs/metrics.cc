@@ -17,6 +17,8 @@ std::uint32_t AssignShardSlot() {
          static_cast<std::uint32_t>(kMetricShards);
 }
 
+thread_local CounterSink* t_counter_sink = nullptr;
+
 }  // namespace internal
 
 void SetEnabled(bool enabled) {

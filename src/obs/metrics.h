@@ -59,6 +59,8 @@ struct HistogramSnapshot {
 
 #ifndef RANKTIES_OBS_DISABLED
 
+class Counter;
+
 namespace internal {
 
 extern std::atomic<bool> g_enabled;
@@ -70,6 +72,21 @@ inline std::uint32_t ShardSlot() {
   thread_local const std::uint32_t slot = AssignShardSlot();
   return slot;
 }
+
+/// Thread-local observer of counter increments, the seam the SLO layer's
+/// query units hang off (src/obs/slo.h). When a sink is installed on a
+/// thread, every Counter::Add on that thread also reports (counter, delta)
+/// to the sink — attribution is exact for work recorded on the calling
+/// thread, which covers every headline Section-6 / batch-engine counter.
+/// Only the innermost installed sink sees an increment; nesting semantics
+/// live in QueryUnitScope.
+class CounterSink {
+ public:
+  virtual ~CounterSink() = default;
+  virtual void OnCounterAdd(Counter* counter, std::int64_t delta) = 0;
+};
+
+extern thread_local CounterSink* t_counter_sink;
 
 }  // namespace internal
 
@@ -95,6 +112,9 @@ class Counter {
     if (!Enabled()) return;
     shards_[internal::ShardSlot()].value.fetch_add(delta,
                                                    std::memory_order_relaxed);
+    if (internal::CounterSink* sink = internal::t_counter_sink) {
+      sink->OnCounterAdd(this, delta);
+    }
   }
   void Increment() { Add(1); }
 

@@ -17,7 +17,10 @@
 /// inline functions the optimizer deletes.
 
 #include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 #ifndef RANKTIES_OBS_DISABLED

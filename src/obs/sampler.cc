@@ -1,0 +1,140 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace rankties {
+namespace obs {
+
+#ifndef RANKTIES_OBS_DISABLED
+
+namespace {
+
+RegistrySample TakeSample() {
+  RegistrySample sample;
+  sample.ts_ns = MonotonicNanos();
+  sample.counters = Registry::Global().CounterSnapshots();
+  sample.histograms = Registry::Global().HistogramSnapshots();
+  return sample;
+}
+
+}  // namespace
+
+Sampler& Sampler::Global() {
+  // Leaked on purpose: see the class comment. Stop() must still be called
+  // before exit when Start() was — ~thread on a joinable worker terminates.
+  static Sampler* const sampler = new Sampler();
+  return *sampler;
+}
+
+void Sampler::Start(std::chrono::milliseconds period, std::size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    capacity_ = std::max<std::size_t>(capacity, 2);
+  }
+  worker_ = std::thread([this, period] { RunLoop(period); });
+}
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool Sampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Sampler::SampleNow() { Append(TakeSample()); }
+
+void Sampler::RunLoop(std::chrono::milliseconds period) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_cv_.wait_for(lock, period,
+                            [this] { return stop_requested_; })) {
+        break;
+      }
+    }
+    Append(TakeSample());
+  }
+  // Final sample: a Start/Stop window always captures its end state.
+  Append(TakeSample());
+}
+
+void Sampler::Append(RegistrySample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+std::vector<RegistrySample> Sampler::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RegistrySample>(samples_.begin(), samples_.end());
+}
+
+std::vector<IntervalDeltas> Sampler::Deltas() const {
+  const std::vector<RegistrySample> series = Series();
+  std::vector<IntervalDeltas> intervals;
+  if (series.size() < 2) return intervals;
+  intervals.reserve(series.size() - 1);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const RegistrySample& prev = series[i - 1];
+    const RegistrySample& next = series[i];
+    IntervalDeltas interval;
+    interval.start_ns = prev.ts_ns;
+    interval.end_ns = next.ts_ns;
+    const double seconds =
+        static_cast<double>(next.ts_ns - prev.ts_ns) * 1e-9;
+    // Both snapshot vectors are name-sorted; merge-walk them. A counter
+    // absent from `prev` (registered mid-series) deltas against 0.
+    std::size_t p = 0;
+    for (const CounterSnapshot& counter : next.counters) {
+      while (p < prev.counters.size() &&
+             prev.counters[p].name < counter.name) {
+        ++p;
+      }
+      const std::int64_t before =
+          (p < prev.counters.size() && prev.counters[p].name == counter.name)
+              ? prev.counters[p].value
+              : 0;
+      CounterDelta delta;
+      delta.name = counter.name;
+      delta.delta = counter.value - before;
+      delta.rate_per_sec =
+          seconds > 0.0 ? static_cast<double>(delta.delta) / seconds : 0.0;
+      interval.counters.push_back(std::move(delta));
+    }
+    intervals.push_back(std::move(interval));
+  }
+  return intervals;
+}
+
+void Sampler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+}
+
+#else  // RANKTIES_OBS_DISABLED
+
+Sampler& Sampler::Global() {
+  static Sampler* const sampler = new Sampler();
+  return *sampler;
+}
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace rankties

@@ -1,0 +1,132 @@
+#ifndef RANKTIES_OBS_SAMPLER_H_
+#define RANKTIES_OBS_SAMPLER_H_
+
+/// \file
+/// Background time-series sampler over the metric Registry.
+///
+/// Counters and histograms are process-lifetime aggregates; the Sampler
+/// turns them into a bounded in-memory time series by snapshotting the
+/// Registry on a fixed period from one background thread:
+///
+///   obs::Sampler::Global().Start(std::chrono::milliseconds(100));
+///   ... workload ...
+///   obs::Sampler::Global().Stop();          // takes one final sample
+///   for (const auto& d : obs::Sampler::Global().Deltas()) { ... }
+///
+/// The series is a ring of at most `capacity` samples (oldest evicted), so
+/// memory stays bounded no matter how long sampling runs. Deltas() derives
+/// per-interval counter increments and rates (per second) from consecutive
+/// samples on read; histograms are carried as cumulative snapshots.
+/// SampleNow() takes a deterministic sample without the background thread,
+/// which is what tests use.
+///
+/// With RANKTIES_OBS_DISABLED everything collapses to empty inline stubs.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rankties {
+namespace obs {
+
+/// One point of the time series: a full Registry snapshot.
+struct RegistrySample {
+  std::int64_t ts_ns = 0;  ///< MonotonicNanos() at snapshot time
+  std::vector<CounterSnapshot> counters;      ///< sorted by name
+  std::vector<HistogramSnapshot> histograms;  ///< sorted by name
+};
+
+/// Per-counter increment over one sampling interval.
+struct CounterDelta {
+  std::string name;
+  std::int64_t delta = 0;
+  double rate_per_sec = 0.0;  ///< delta / interval (0 on a zero interval)
+};
+
+/// One interval between two consecutive samples.
+struct IntervalDeltas {
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::vector<CounterDelta> counters;  ///< sorted by name
+};
+
+#ifndef RANKTIES_OBS_DISABLED
+
+class Sampler {
+ public:
+  /// Default ring capacity; at ~100 metrics a full ring stays in the
+  /// low megabytes.
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// The singleton. Leaked on purpose, like the metric Registry.
+  static Sampler& Global();
+
+  /// Starts the background thread sampling every `period`. No-op when
+  /// already running. `capacity` bounds the ring (minimum 2, so Deltas()
+  /// always has an interval to report).
+  void Start(std::chrono::milliseconds period,
+             std::size_t capacity = kDefaultCapacity);
+
+  /// Stops and joins the background thread, taking one final sample so a
+  /// Start/Stop window always captures its end state. No-op when stopped.
+  void Stop();
+
+  bool running() const;
+
+  /// Takes one sample synchronously on the calling thread (tests; safe
+  /// with or without the background thread).
+  void SampleNow();
+
+  /// The current series, oldest first.
+  std::vector<RegistrySample> Series() const;
+
+  /// Per-interval counter deltas and rates between consecutive samples
+  /// (size = max(0, samples - 1)). Counters that first appear mid-series
+  /// delta against 0.
+  std::vector<IntervalDeltas> Deltas() const;
+
+  /// Drops every sample (tests; the background thread keeps running).
+  void Clear();
+
+ private:
+  Sampler() = default;
+
+  void Append(RegistrySample sample);
+  void RunLoop(std::chrono::milliseconds period);
+
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;  // guarded by mu_
+  bool running_ = false;         // guarded by mu_
+  std::size_t capacity_ = kDefaultCapacity;   // guarded by mu_
+  std::deque<RegistrySample> samples_;        // guarded by mu_
+  std::thread worker_;  // owned by Start/Stop, touched with mu_ released
+};
+
+#else  // RANKTIES_OBS_DISABLED
+
+class Sampler {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 0;
+  static Sampler& Global();
+  void Start(std::chrono::milliseconds, std::size_t = 0) {}
+  void Stop() {}
+  bool running() const { return false; }
+  void SampleNow() {}
+  std::vector<RegistrySample> Series() const { return {}; }
+  std::vector<IntervalDeltas> Deltas() const { return {}; }
+  void Clear() {}
+};
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace rankties
+
+#endif  // RANKTIES_OBS_SAMPLER_H_

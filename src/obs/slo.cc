@@ -1,0 +1,222 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/flight.h"
+#include "util/contracts.h"
+#include "util/stopwatch.h"
+
+namespace rankties {
+namespace obs {
+
+std::int64_t QueryUnitSnapshot::LatencyP99UpperNs() const {
+  if (queries == 0) return 0;
+  // Smallest bucket edge with cumulative count >= 99% of queries
+  // (ceiling, so e.g. 99 of 100 is not enough when the 100th is larger).
+  const std::int64_t needed = (queries * 99 + 99) / 100;
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += latency_buckets[b];
+    if (cumulative >= needed) return Histogram::BucketUpperEdge(b);
+  }
+  return Histogram::BucketUpperEdge(kHistogramBuckets - 1);
+}
+
+std::int64_t QueryUnitSnapshot::CostTotal(std::string_view counter) const {
+  for (const QueryUnitCounterCost& cost : costs) {
+    if (cost.counter == counter) return cost.total;
+  }
+  return 0;
+}
+
+std::int64_t QueryUnitSnapshot::CostMaxPerQuery(
+    std::string_view counter) const {
+  for (const QueryUnitCounterCost& cost : costs) {
+    if (cost.counter == counter) return cost.max_per_query;
+  }
+  return 0;
+}
+
+#ifndef RANKTIES_OBS_DISABLED
+
+SloRegistry& SloRegistry::Global() {
+  // Leaked on purpose: see the class comment.
+  static SloRegistry* const registry = new SloRegistry();
+  return *registry;
+}
+
+void SloRegistry::Declare(SloThreshold threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thresholds_.push_back(std::move(threshold));
+}
+
+std::vector<SloThreshold> SloRegistry::Thresholds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thresholds_;
+}
+
+std::vector<QueryUnitSnapshot> SloRegistry::UnitSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryUnitSnapshot> snapshots;
+  snapshots.reserve(units_.size());
+  for (const auto& entry : units_) {
+    QueryUnitSnapshot snapshot;
+    snapshot.unit = entry.first;
+    snapshot.queries = entry.second.queries;
+    snapshot.latency_sum_ns = entry.second.latency_sum_ns;
+    snapshot.latency_buckets = entry.second.latency_buckets;
+    snapshot.costs.reserve(entry.second.costs.size());
+    for (const auto& cost : entry.second.costs) {
+      snapshot.costs.push_back(QueryUnitCounterCost{
+          cost.first, cost.second.total, cost.second.max_per_query});
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+QueryUnitSnapshot SloRegistry::UnitSnapshot(std::string_view unit) const {
+  for (QueryUnitSnapshot& snapshot : UnitSnapshots()) {
+    if (snapshot.unit == unit) return std::move(snapshot);
+  }
+  QueryUnitSnapshot empty;
+  empty.unit = std::string(unit);
+  return empty;
+}
+
+std::vector<SloCheckResult> SloRegistry::Evaluate() const {
+  const std::vector<SloThreshold> thresholds = Thresholds();
+  const std::vector<QueryUnitSnapshot> units = UnitSnapshots();
+  auto find_unit = [&units](const std::string& name) {
+    return std::find_if(
+        units.begin(), units.end(),
+        [&name](const QueryUnitSnapshot& u) { return u.unit == name; });
+  };
+  std::vector<SloCheckResult> results;
+  for (const SloThreshold& threshold : thresholds) {
+    const auto it = find_unit(threshold.unit);
+    if (threshold.max_p99_latency_ns > 0) {
+      SloCheckResult result;
+      result.unit = threshold.unit;
+      result.check = "p99_latency_ns";
+      result.observed = it == units.end()
+                            ? 0.0
+                            : static_cast<double>(it->LatencyP99UpperNs());
+      result.limit = static_cast<double>(threshold.max_p99_latency_ns);
+      result.ok = result.observed <= result.limit;
+      results.push_back(std::move(result));
+    }
+    if (!threshold.counter.empty() && threshold.max_cost_per_query > 0) {
+      SloCheckResult result;
+      result.unit = threshold.unit;
+      result.check = "max_cost:" + threshold.counter;
+      result.observed =
+          it == units.end()
+              ? 0.0
+              : static_cast<double>(it->CostMaxPerQuery(threshold.counter));
+      result.limit = static_cast<double>(threshold.max_cost_per_query);
+      result.ok = result.observed <= result.limit;
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+void SloRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  units_.clear();
+  thresholds_.clear();
+  // Ordinals survive a reset so flight events keep a stable mapping.
+}
+
+std::uint32_t SloRegistry::OrdinalFor(std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ordinals_.find(unit);
+  if (it == ordinals_.end()) {
+    it = ordinals_
+             .emplace(std::string(unit),
+                      static_cast<std::uint32_t>(ordinals_.size()))
+             .first;
+  }
+  return it->second;
+}
+
+void SloRegistry::Report(
+    std::string_view unit, std::int64_t latency_ns,
+    const std::vector<std::pair<Counter*, std::int64_t>>& costs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = units_.find(unit);
+  if (it == units_.end()) {
+    it = units_.emplace(std::string(unit), UnitAccum{}).first;
+  }
+  UnitAccum& accum = it->second;
+  accum.queries += 1;
+  accum.latency_sum_ns += latency_ns;
+  accum.latency_buckets[Histogram::BucketIndex(latency_ns)] += 1;
+  for (const auto& cost : costs) {
+    CostAccum& entry = accum.costs[cost.first->name()];
+    entry.total += cost.second;
+    entry.max_per_query = std::max(entry.max_per_query, cost.second);
+  }
+}
+
+QueryUnitScope::QueryUnitScope(std::string_view unit)
+    : unit_(unit),
+      ordinal_(SloRegistry::Global().OrdinalFor(unit)),
+      start_ns_(MonotonicNanos()),
+      previous_(internal::t_counter_sink) {
+  internal::t_counter_sink = this;
+  RANKTIES_FLIGHT(FlightEventId::kQueryUnitBegin, ordinal_);
+}
+
+QueryUnitScope::~QueryUnitScope() {
+  // RAII scoping means the destructor runs on the constructing thread and
+  // scopes unwind innermost-first; the sink chain depends on both.
+  RANKTIES_DCHECK(internal::t_counter_sink == this);
+  internal::t_counter_sink = previous_;
+  const std::int64_t latency_ns = MonotonicNanos() - start_ns_;
+  RANKTIES_FLIGHT(FlightEventId::kQueryUnitEnd, ordinal_, latency_ns);
+  SloRegistry::Global().Report(unit_, latency_ns, attributed_);
+}
+
+std::int64_t QueryUnitScope::Attributed(const Counter* counter) const {
+  for (const auto& entry : attributed_) {
+    if (entry.first == counter) return entry.second;
+  }
+  return 0;
+}
+
+std::vector<CounterSnapshot> QueryUnitScope::AttributedSnapshots() const {
+  std::vector<CounterSnapshot> snapshots;
+  snapshots.reserve(attributed_.size());
+  for (const auto& entry : attributed_) {
+    snapshots.push_back(CounterSnapshot{entry.first->name(), entry.second});
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshots;
+}
+
+void QueryUnitScope::OnCounterAdd(Counter* counter, std::int64_t delta) {
+  for (auto& entry : attributed_) {
+    if (entry.first == counter) {
+      entry.second += delta;
+      return;
+    }
+  }
+  attributed_.emplace_back(counter, delta);
+}
+
+#else  // RANKTIES_OBS_DISABLED
+
+SloRegistry& SloRegistry::Global() {
+  static SloRegistry* const registry = new SloRegistry();
+  return *registry;
+}
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace rankties

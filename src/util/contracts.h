@@ -1,6 +1,7 @@
 #ifndef RANKTIES_UTIL_CONTRACTS_H_
 #define RANKTIES_UTIL_CONTRACTS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -38,10 +39,39 @@
 namespace rankties {
 namespace contracts_internal {
 
+/// Optional last-breath callback run right before a failed contract
+/// aborts. The observability layer installs the flight-recorder
+/// post-mortem dump here (src/obs/flight.h) so a contract violation
+/// carries the last structured events that led up to it. Hooks must be
+/// re-entrancy safe: a contract failing inside the hook must not recurse.
+using FailureHook = void (*)();
+
+inline std::atomic<FailureHook>& FailureHookSlot() {
+  static std::atomic<FailureHook> hook{nullptr};
+  return hook;
+}
+
+/// Installs `hook` (nullptr clears). Returns the previous hook.
+inline FailureHook SetFailureHook(FailureHook hook) {
+  return FailureHookSlot().exchange(hook, std::memory_order_acq_rel);
+}
+
+inline void RunFailureHook() {
+  static thread_local bool t_in_hook = false;
+  if (t_in_hook) return;  // a contract failed inside the hook itself
+  const FailureHook hook =
+      FailureHookSlot().load(std::memory_order_acquire);
+  if (hook == nullptr) return;
+  t_in_hook = true;
+  hook();
+  t_in_hook = false;
+}
+
 [[noreturn]] inline void ContractFailure(const char* macro, const char* expr,
                                          const char* file, int line) {
   std::fprintf(stderr, "rankties: contract violation: %s(%s) at %s:%d\n",
                macro, expr, file, line);
+  RunFailureHook();
   std::abort();
 }
 
@@ -55,6 +85,7 @@ namespace contracts_internal {
                "index %lld outside [0, %lld) at %s:%d\n",
                index_expr, size_expr, static_cast<long long>(index),
                static_cast<long long>(size), file, line);
+  RunFailureHook();
   std::abort();
 }
 
@@ -75,6 +106,7 @@ void DcheckOk(const StatusLike& status, const char* expr, const char* file,
                  "at %s:%d\n",
                  expr, status.status().ToString().c_str(), file, line);
   }
+  RunFailureHook();
   std::abort();
 }
 

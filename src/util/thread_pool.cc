@@ -102,6 +102,10 @@ void ThreadPool::ParallelFor(
   state->body = &body;
   state->cursor.store(begin, std::memory_order_relaxed);
   const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  RANKTIES_FLIGHT(obs::FlightEventId::kParallelFor,
+                  static_cast<std::int64_t>(end - begin),
+                  static_cast<std::int64_t>(g),
+                  static_cast<std::int64_t>(helpers));
   state->pending = helpers;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,214 @@
+// Tests for the export formats (src/obs/export.h): JSON and OpenMetrics
+// escaping round-trips for hostile metric names (quotes, backslashes,
+// control bytes, UTF-8), cumulative-histogram validity, the Perfetto and
+// flight documents, and valid-but-empty output in every mode.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs.h"
+
+namespace rankties {
+namespace {
+
+bool Contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+// Balanced braces/brackets outside strings — the realistic failure mode of
+// a hand-rolled emitter (same check as obs_test.cc).
+bool BalancedJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+#ifndef RANKTIES_OBS_DISABLED
+
+class ExportFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::Global().ResetAll();
+    obs::SloRegistry::Global().ResetAll();
+    obs::TraceRecorder::Global().Clear();
+    obs::FlightRecorder::Global().Clear();
+    obs::SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::SetEnabled(false);
+    obs::FlightRecorder::Global().SetEnabled(false);
+    obs::FlightRecorder::Global().Clear();
+    obs::SloRegistry::Global().ResetAll();
+    obs::TraceRecorder::Global().Stop();
+  }
+};
+
+TEST_F(ExportFormatTest, JsonEscapesHostileMetricNames) {
+  // Registry names are arbitrary strings; the JSON emitters must escape
+  // them rather than trust the lowercase.dotted convention.
+  obs::GetCounter("test.export.quote\"backslash\\tab\tnewline\n")->Add(3);
+  obs::GetCounter(std::string("test.export.ctrl\x01") + "byte")->Add(4);
+  obs::GetCounter("test.export.utf8.\xc3\xa9\xe2\x82\xac")->Add(5);
+  const std::string metrics = obs::MetricsJsonObject();
+  EXPECT_TRUE(BalancedJson(metrics)) << metrics;
+  EXPECT_TRUE(
+      Contains(metrics, "test.export.quote\\\"backslash\\\\tab\\tnewline\\n"));
+  EXPECT_TRUE(Contains(metrics, "test.export.ctrl\\u0001byte"));
+  // Multi-byte UTF-8 passes through verbatim.
+  EXPECT_TRUE(Contains(metrics, "test.export.utf8.\xc3\xa9\xe2\x82\xac"));
+
+  const std::string trace = obs::TraceJsonDocument();
+  EXPECT_TRUE(BalancedJson(trace)) << trace;
+  EXPECT_TRUE(
+      Contains(trace, "test.export.quote\\\"backslash\\\\tab\\tnewline\\n"));
+}
+
+TEST_F(ExportFormatTest, OpenMetricsEscapesLabelValues) {
+  obs::GetCounter("test.export.om\"quote\\slash\nline")->Add(7);
+  obs::GetCounter("test.export.om.utf8.\xc3\xa9")->Add(8);
+  const std::string text = obs::OpenMetricsText();
+  // OpenMetrics label escaping: \\ for backslash, \" for quote, \n for
+  // newline — and nothing else.
+  EXPECT_TRUE(Contains(
+      text,
+      "rankties_counter_total{name=\"test.export.om\\\"quote\\\\slash\\n"
+      "line\"} 7"));
+  EXPECT_TRUE(Contains(
+      text, "rankties_counter_total{name=\"test.export.om.utf8.\xc3\xa9\"} 8"));
+  // No raw newline may survive inside a label value: every exposition line
+  // must start with a family name or a comment.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty()) {
+      EXPECT_TRUE(line[0] == '#' || Contains(line, "rankties_")) << line;
+    }
+    start = end + 1;
+  }
+  EXPECT_TRUE(text.size() >= 6 && text.compare(text.size() - 6, 6,
+                                               "# EOF\n") == 0);
+}
+
+TEST_F(ExportFormatTest, OpenMetricsHistogramIsCumulative) {
+  obs::Histogram* histogram = obs::GetHistogram("test.export.histogram");
+  histogram->Record(1);   // bucket edge 1
+  histogram->Record(5);   // bucket edge 7
+  histogram->Record(6);   // bucket edge 7
+  histogram->Record(100);  // bucket edge 127
+  const std::string text = obs::OpenMetricsText();
+  const std::string id = "{name=\"test.export.histogram\"";
+  EXPECT_TRUE(
+      Contains(text, "rankties_histogram_bucket" + id + ",le=\"1\"} 1"));
+  EXPECT_TRUE(
+      Contains(text, "rankties_histogram_bucket" + id + ",le=\"7\"} 3"));
+  EXPECT_TRUE(
+      Contains(text, "rankties_histogram_bucket" + id + ",le=\"127\"} 4"));
+  EXPECT_TRUE(
+      Contains(text, "rankties_histogram_bucket" + id + ",le=\"+Inf\"} 4"));
+  EXPECT_TRUE(Contains(text, "rankties_histogram_sum" + id + "} 112"));
+  EXPECT_TRUE(Contains(text, "rankties_histogram_count" + id + "} 4"));
+}
+
+TEST_F(ExportFormatTest, OpenMetricsCarriesQueryUnitsAndSloChecks) {
+  obs::Counter* counter = obs::GetCounter("test.export.unit_cost");
+  {
+    obs::QueryUnitScope unit("test.export.unit");
+    counter->Add(21);
+  }
+  obs::SloThreshold threshold;
+  threshold.unit = "test.export.unit";
+  threshold.counter = "test.export.unit_cost";
+  threshold.max_cost_per_query = 5;  // violated: 21 attributed
+  obs::SloRegistry::Global().Declare(threshold);
+  const std::string text = obs::OpenMetricsText();
+  EXPECT_TRUE(Contains(
+      text, "rankties_query_unit_queries_total{unit=\"test.export.unit\"} 1"));
+  EXPECT_TRUE(Contains(
+      text,
+      "rankties_query_unit_cost_total{unit=\"test.export.unit\","
+      "counter=\"test.export.unit_cost\"} 21"));
+  EXPECT_TRUE(Contains(
+      text,
+      "rankties_slo_ok{unit=\"test.export.unit\","
+      "check=\"max_cost:test.export.unit_cost\"} 0"));
+  EXPECT_TRUE(Contains(
+      text,
+      "rankties_slo_limit{unit=\"test.export.unit\","
+      "check=\"max_cost:test.export.unit_cost\"} 5"));
+}
+
+TEST_F(ExportFormatTest, PerfettoDocumentCarriesSpansAsCompleteEvents) {
+  obs::TraceRecorder::Global().Start();
+  {
+    obs::TraceSpan span("test.export.perfetto \"span\"");
+    span.SetItems(9);
+  }
+  obs::TraceRecorder::Global().Stop();
+  const std::string doc = obs::PerfettoJsonDocument();
+  EXPECT_TRUE(BalancedJson(doc)) << doc;
+  EXPECT_TRUE(Contains(doc, "\"displayTimeUnit\": \"ns\""));
+  EXPECT_TRUE(Contains(doc, "\"ph\": \"M\""));
+  EXPECT_TRUE(Contains(doc, "\"process_name\""));
+  EXPECT_TRUE(Contains(doc, "\"ph\": \"X\""));
+  EXPECT_TRUE(Contains(doc, "test.export.perfetto \\\"span\\\""));
+  EXPECT_TRUE(Contains(doc, "\"items\": 9"));
+}
+
+TEST_F(ExportFormatTest, FlightDocumentRoundTripsEvents) {
+  obs::FlightRecorder::Global().SetEnabled(true);
+  RANKTIES_FLIGHT(obs::FlightEventId::kTaRun, 4, 17, 6);
+  const std::string doc = obs::FlightJsonDocument();
+  EXPECT_TRUE(BalancedJson(doc)) << doc;
+  EXPECT_TRUE(Contains(doc, "\"schema\": \"rankties-flight-v1\""));
+  EXPECT_TRUE(Contains(doc, "\"event\": \"access.ta.run\""));
+  EXPECT_TRUE(Contains(doc, "\"args\": [4, 17, 6]"));
+  EXPECT_TRUE(Contains(doc, "\"dropped\": 0"));
+}
+
+TEST_F(ExportFormatTest, EmptyDocumentsStayValid) {
+  const std::string om = obs::OpenMetricsText();
+  EXPECT_TRUE(Contains(om, "# TYPE rankties_counter counter"));
+  EXPECT_TRUE(om.size() >= 6 &&
+              om.compare(om.size() - 6, 6, "# EOF\n") == 0);
+  EXPECT_TRUE(BalancedJson(obs::PerfettoJsonDocument()));
+  EXPECT_TRUE(BalancedJson(obs::FlightJsonDocument()));
+  EXPECT_TRUE(BalancedJson(obs::MetricsJsonObject()));
+}
+
+#else  // RANKTIES_OBS_DISABLED
+
+TEST(ExportFormatDisabledTest, DocumentsStayValidWhenCompiledOut) {
+  const std::string om = obs::OpenMetricsText();
+  EXPECT_TRUE(om.size() >= 6 &&
+              om.compare(om.size() - 6, 6, "# EOF\n") == 0);
+  EXPECT_TRUE(BalancedJson(obs::PerfettoJsonDocument()));
+  EXPECT_TRUE(BalancedJson(obs::FlightJsonDocument()));
+  EXPECT_TRUE(BalancedJson(obs::MetricsJsonObject()));
+  EXPECT_TRUE(Contains(obs::FlightJsonDocument(), "rankties-flight-v1"));
+}
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,8 @@
+// rankties-lint-fixture: expect RT007
+//
+// Metric names at obs call sites must be string literals in
+// lowercase.dotted form; a CamelCase single-segment name must be flagged.
+
+void RecordsBadMetricName() {
+  RANKTIES_OBS_COUNT("BadMetricName", 1);
+}

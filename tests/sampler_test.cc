@@ -1,0 +1,149 @@
+// Tests for the background time-series sampler (src/obs/sampler.h):
+// deterministic SampleNow/Series/Deltas behavior, the bounded sample ring,
+// and the Start/Stop lifecycle of the background thread.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace rankties {
+namespace {
+
+#ifndef RANKTIES_OBS_DISABLED
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::Global().ResetAll();
+    obs::Sampler::Global().Clear();
+    obs::SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::Sampler::Global().Stop();
+    obs::Sampler::Global().Clear();
+    obs::SetEnabled(false);
+  }
+};
+
+const obs::CounterSnapshot* FindCounter(
+    const std::vector<obs::CounterSnapshot>& counters,
+    const std::string& name) {
+  for (const obs::CounterSnapshot& counter : counters) {
+    if (counter.name == name) return &counter;
+  }
+  return nullptr;
+}
+
+const obs::CounterDelta* FindDelta(
+    const std::vector<obs::CounterDelta>& deltas, const std::string& name) {
+  for (const obs::CounterDelta& delta : deltas) {
+    if (delta.name == name) return &delta;
+  }
+  return nullptr;
+}
+
+TEST_F(SamplerTest, SampleNowCapturesRegistryState) {
+  obs::GetCounter("test.sampler.captured")->Add(41);
+  obs::Sampler::Global().SampleNow();
+  const std::vector<obs::RegistrySample> series =
+      obs::Sampler::Global().Series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_GT(series[0].ts_ns, 0);
+  const obs::CounterSnapshot* counter =
+      FindCounter(series[0].counters, "test.sampler.captured");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 41);
+}
+
+TEST_F(SamplerTest, DeltasReportPerIntervalIncrements) {
+  obs::Counter* counter = obs::GetCounter("test.sampler.delta");
+  counter->Add(10);
+  obs::Sampler::Global().SampleNow();
+  counter->Add(25);
+  obs::Sampler::Global().SampleNow();
+  counter->Add(5);
+  obs::Sampler::Global().SampleNow();
+
+  const std::vector<obs::IntervalDeltas> intervals =
+      obs::Sampler::Global().Deltas();
+  ASSERT_EQ(intervals.size(), 2u);
+  const obs::CounterDelta* first =
+      FindDelta(intervals[0].counters, "test.sampler.delta");
+  const obs::CounterDelta* second =
+      FindDelta(intervals[1].counters, "test.sampler.delta");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->delta, 25);
+  EXPECT_EQ(second->delta, 5);
+  EXPECT_GE(first->rate_per_sec, 0.0);
+  EXPECT_LE(intervals[0].start_ns, intervals[0].end_ns);
+  EXPECT_EQ(intervals[0].end_ns, intervals[1].start_ns);
+}
+
+TEST_F(SamplerTest, CounterAppearingMidSeriesDeltasAgainstZero) {
+  obs::Sampler::Global().SampleNow();
+  obs::GetCounter("test.sampler.late_arrival")->Add(7);
+  obs::Sampler::Global().SampleNow();
+  const std::vector<obs::IntervalDeltas> intervals =
+      obs::Sampler::Global().Deltas();
+  ASSERT_EQ(intervals.size(), 1u);
+  const obs::CounterDelta* delta =
+      FindDelta(intervals[0].counters, "test.sampler.late_arrival");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->delta, 7);
+}
+
+TEST_F(SamplerTest, RingEvictsOldestBeyondCapacity) {
+  // A huge period keeps the background thread quiet while SampleNow
+  // overflows the ring deterministically; Stop() appends one final sample.
+  obs::Sampler::Global().Start(std::chrono::milliseconds(60'000), 3);
+  obs::Counter* counter = obs::GetCounter("test.sampler.capacity");
+  for (int i = 0; i < 8; ++i) {
+    counter->Add(1);
+    obs::Sampler::Global().SampleNow();
+  }
+  std::vector<obs::RegistrySample> series = obs::Sampler::Global().Series();
+  ASSERT_EQ(series.size(), 3u);
+  // Survivors are the newest three samples (counter values 6, 7, 8).
+  const obs::CounterSnapshot* oldest =
+      FindCounter(series.front().counters, "test.sampler.capacity");
+  ASSERT_NE(oldest, nullptr);
+  EXPECT_EQ(oldest->value, 6);
+  obs::Sampler::Global().Stop();
+  series = obs::Sampler::Global().Series();
+  EXPECT_EQ(series.size(), 3u);  // final sample evicted the oldest
+}
+
+TEST_F(SamplerTest, StartStopLifecycle) {
+  EXPECT_FALSE(obs::Sampler::Global().running());
+  obs::Sampler::Global().Start(std::chrono::milliseconds(1));
+  EXPECT_TRUE(obs::Sampler::Global().running());
+  obs::Sampler::Global().Start(std::chrono::milliseconds(1));  // no-op
+  obs::Sampler::Global().Stop();
+  EXPECT_FALSE(obs::Sampler::Global().running());
+  obs::Sampler::Global().Stop();  // no-op
+  // Stop always takes a final sample, so a Start/Stop window is never empty.
+  EXPECT_GE(obs::Sampler::Global().Series().size(), 1u);
+}
+
+#else  // RANKTIES_OBS_DISABLED
+
+TEST(SamplerDisabledTest, ApiIsInertButValid) {
+  obs::Sampler& sampler = obs::Sampler::Global();
+  sampler.Start(std::chrono::milliseconds(1));
+  EXPECT_FALSE(sampler.running());
+  sampler.SampleNow();
+  EXPECT_TRUE(sampler.Series().empty());
+  EXPECT_TRUE(sampler.Deltas().empty());
+  sampler.Stop();
+  sampler.Clear();
+}
+
+#endif  // RANKTIES_OBS_DISABLED
+
+}  // namespace
+}  // namespace rankties

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""check_openmetrics: validate an OpenMetrics text exposition.
+
+Validates the subset of the OpenMetrics format that
+src/obs/export.cc emits (and that any Prometheus-family scraper relies
+on):
+
+  * every line is a comment (`# TYPE ...`, `# HELP ...`, `# EOF`) or a
+    sample `family{label="value",...} number`;
+  * the document ends with exactly one `# EOF` line and nothing after it;
+  * sample family names resolve to a declared `# TYPE`, honoring the
+    suffix rules (`_total` for counters; `_bucket`/`_sum`/`_count` for
+    histograms; bare name for gauges);
+  * label values use only the three legal escapes (\\\\, \\", \\n) and
+    label names are valid identifiers;
+  * histogram series are cumulative: for each label set, `_bucket` counts
+    are non-decreasing in `le` order, an `le="+Inf"` bucket exists, and it
+    equals the series' `_count` sample.
+
+Exit is nonzero with one diagnostic per violation. Stdlib only, so it
+runs anywhere CI can run python3.
+
+Usage:
+  check_openmetrics.py FILE [FILE...]
+  some_tool --openmetrics=/dev/stdout | check_openmetrics.py -
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+FAMILY = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+NUMBER = re.compile(r"[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\d*\.\d+"
+                    r"(?:[eE][+-]?\d+)?)|[+-]?Inf|NaN")
+TYPES = {"counter", "gauge", "histogram", "summary", "info", "stateset",
+         "unknown"}
+
+
+class Checker:
+    def __init__(self, source: str):
+        self.source = source
+        self.errors: list[str] = []
+        self.types: dict[str, str] = {}
+        self.samples = 0
+        # (family, frozen label set without 'le') -> [(le, value)]
+        self.buckets: dict = {}
+        # (family, frozen label set) -> value, for _count cross-checks
+        self.counts: dict = {}
+
+    def error(self, lineno: int, message: str) -> None:
+        self.errors.append(f"{self.source}:{lineno}: {message}")
+
+    # -- line-level parsing -------------------------------------------------
+
+    def check(self, text: str) -> None:
+        if not text.endswith("\n"):
+            self.error(text.count("\n") + 1, "missing trailing newline")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        saw_eof = False
+        for lineno, line in enumerate(lines, start=1):
+            if saw_eof:
+                self.error(lineno, "content after # EOF")
+                break
+            if line == "# EOF":
+                saw_eof = True
+            elif line.startswith("#"):
+                self.check_comment(lineno, line)
+            elif line:
+                self.check_sample(lineno, line)
+            else:
+                self.error(lineno, "blank line is not allowed")
+        if not saw_eof:
+            self.error(len(lines), "missing # EOF terminator")
+        self.check_histograms()
+
+    def check_comment(self, lineno: int, line: str) -> None:
+        parts = line.split(" ", 3)
+        if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("TYPE",
+                                                                "HELP"):
+            self.error(lineno, f"malformed comment line: {line!r}")
+            return
+        family = parts[2]
+        if not FAMILY.fullmatch(family):
+            self.error(lineno, f"invalid family name {family!r}")
+            return
+        if parts[1] == "TYPE":
+            kind = parts[3] if len(parts) > 3 else ""
+            if kind not in TYPES:
+                self.error(lineno, f"unknown metric type {kind!r}")
+            elif family in self.types:
+                self.error(lineno, f"duplicate # TYPE for {family}")
+            else:
+                self.types[family] = kind
+
+    def check_sample(self, lineno: int, line: str) -> None:
+        name_match = FAMILY.match(line)
+        if not name_match:
+            self.error(lineno, f"malformed sample line: {line!r}")
+            return
+        name = name_match.group(0)
+        rest = line[name_match.end():]
+        labels: dict[str, str] = {}
+        if rest.startswith("{"):
+            rest = self.parse_labels(lineno, rest, labels)
+            if rest is None:
+                return
+        if not rest.startswith(" "):
+            self.error(lineno, f"missing space before value: {line!r}")
+            return
+        value_text = rest[1:].split(" ")[0]  # optional timestamp follows
+        if not NUMBER.fullmatch(value_text):
+            self.error(lineno, f"invalid sample value {value_text!r}")
+            return
+        self.samples += 1
+        self.classify(lineno, name, labels, float(value_text))
+
+    def parse_labels(self, lineno: int, rest: str,
+                     labels: dict[str, str]):
+        """Parses `{name="value",...}`; returns the remainder or None."""
+        i = 1
+        while True:
+            name_match = LABEL_NAME.match(rest, i)
+            if not name_match:
+                self.error(lineno, f"bad label name at {rest[i:i+20]!r}")
+                return None
+            label = name_match.group(0)
+            i = name_match.end()
+            if not rest.startswith('="', i):
+                self.error(lineno, f"label {label} missing =\"value\"")
+                return None
+            i += 2
+            value = []
+            while i < len(rest) and rest[i] != '"':
+                if rest[i] == "\\":
+                    if i + 1 >= len(rest) or rest[i + 1] not in '\\"n':
+                        self.error(lineno,
+                                   f"illegal escape in label {label}")
+                        return None
+                    value.append({"\\": "\\", '"': '"',
+                                  "n": "\n"}[rest[i + 1]])
+                    i += 2
+                else:
+                    value.append(rest[i])
+                    i += 1
+            if i >= len(rest):
+                self.error(lineno, f"unterminated label value for {label}")
+                return None
+            i += 1  # closing quote
+            if label in labels:
+                self.error(lineno, f"duplicate label {label}")
+                return None
+            labels[label] = "".join(value)
+            if i < len(rest) and rest[i] == ",":
+                i += 1
+                continue
+            if i < len(rest) and rest[i] == "}":
+                return rest[i + 1:]
+            self.error(lineno, f"expected ',' or '}}' after label {label}")
+            return None
+
+    # -- semantic checks ----------------------------------------------------
+
+    def resolve_family(self, name: str) -> tuple[str, str] | None:
+        """Maps a sample name to (declared family, suffix)."""
+        for suffix in ("_total", "_bucket", "_sum", "_count", ""):
+            if suffix and not name.endswith(suffix):
+                continue
+            family = name[:len(name) - len(suffix)] if suffix else name
+            if family in self.types:
+                return family, suffix
+        return None
+
+    def classify(self, lineno: int, name: str, labels: dict[str, str],
+                 value: float) -> None:
+        resolved = self.resolve_family(name)
+        if resolved is None:
+            self.error(lineno, f"sample {name} has no # TYPE declaration")
+            return
+        family, suffix = resolved
+        kind = self.types[family]
+        legal = {"counter": {"_total"},
+                 "histogram": {"_bucket", "_sum", "_count"},
+                 "gauge": {""}}.get(kind, {""})
+        if suffix not in legal:
+            self.error(lineno,
+                       f"sample {name}: suffix {suffix!r} not legal for "
+                       f"{kind} {family}")
+            return
+        if kind in ("counter", "histogram") and value < 0:
+            self.error(lineno, f"{name}: negative value {value} for {kind}")
+        if suffix == "_bucket":
+            le = labels.get("le")
+            if le is None:
+                self.error(lineno, f"{name}: _bucket sample missing le")
+                return
+            series = frozenset((k, v) for k, v in labels.items()
+                               if k != "le")
+            self.buckets.setdefault((family, series), []).append(
+                (lineno, le, value))
+        elif suffix == "_count":
+            series = frozenset(labels.items())
+            self.counts[(family, series)] = (lineno, value)
+
+    def check_histograms(self) -> None:
+        for (family, series), entries in self.buckets.items():
+            label = ", ".join(f'{k}="{v}"' for k, v in sorted(series))
+            inf = [value for (_, le, value) in entries if le == "+Inf"]
+            if not inf:
+                self.error(entries[0][0],
+                           f"{family}{{{label}}}: no le=\"+Inf\" bucket")
+                continue
+            # Emission order is ascending le; cumulative counts must be
+            # non-decreasing in that order.
+            last = -1.0
+            for lineno, le, value in entries:
+                if value < last:
+                    self.error(lineno,
+                               f"{family}{{{label}}}: bucket le={le} count "
+                               f"{value} below previous {last} "
+                               "(not cumulative)")
+                last = value
+            count = self.counts.get((family, series))
+            if count is None:
+                self.error(entries[0][0],
+                           f"{family}{{{label}}}: missing _count sample")
+            elif count[1] != inf[-1]:
+                self.error(count[0],
+                           f"{family}{{{label}}}: _count {count[1]} != "
+                           f"le=\"+Inf\" bucket {inf[-1]}")
+
+
+def main() -> int:
+    paths = sys.argv[1:]
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        if path == "-":
+            text = sys.stdin.read()
+            checker = Checker("<stdin>")
+        else:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            checker = Checker(path)
+        checker.check(text)
+        for error in checker.errors:
+            print(error, file=sys.stderr)
+            failed = True
+        print(f"{checker.source}: {checker.samples} sample(s), "
+              f"{len(checker.types)} familie(s), "
+              f"{len(checker.errors)} error(s)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

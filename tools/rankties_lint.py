@@ -47,6 +47,21 @@ Rules (rationale in docs/STATIC_ANALYSIS.md):
                                RANKTIES_NO_AVX2 guarantees the CI dispatch
                                matrix enforces.
 
+  RT007 metric-name-literal    Metric / span / query-unit names at
+                               RANKTIES_OBS_COUNT, RANKTIES_OBS_RECORD,
+                               obs::GetCounter, obs::GetHistogram,
+                               obs::TraceSpan and obs::QueryUnitScope call
+                               sites must be string literals in
+                               `lowercase.dotted` form (segments of
+                               [a-z][a-z0-9_]*, at least two, joined by
+                               dots). Literal names keep the counter
+                               catalog in docs/OBSERVABILITY.md greppable
+                               and the OpenMetrics label space predictable.
+                               Scope: src/, bench/, examples/; src/obs/
+                               itself is exempt (it manipulates names
+                               generically), and a first argument on a
+                               later line is skipped.
+
 A finding on a line carrying `rankties-lint: allow(RTxxx)` is suppressed.
 
 Usage:
@@ -81,6 +96,12 @@ FIELD_ACCESS = re.compile(
 RAW_INTRINSICS = re.compile(
     r"\b_mm\d*_\w+|\b__m(?:128|256|512)[di]?\b|#\s*include\s*<\w*intrin\.h>"
 )
+METRIC_CALL = re.compile(
+    r"RANKTIES_OBS_COUNT\s*\(|RANKTIES_OBS_RECORD\s*\(|"
+    r"\b(?:obs::)?(?:GetCounter|GetHistogram)\s*\(|"
+    r"\b(?:obs::)?(?:TraceSpan|QueryUnitScope)\s+\w+\s*\(")
+METRIC_NAME = re.compile(r"[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+")
+STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)*)"')
 ALLOW = re.compile(r"rankties-lint:\s*allow\((RT\d{3})\)")
 FIXTURE_EXPECT = re.compile(r"rankties-lint-fixture:\s*expect\s+(RT\d{3})")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -119,6 +140,32 @@ def strip_strings(line: str) -> str:
     return "".join(out)
 
 
+def metric_name_problems(raw: str, code: str) -> list[str]:
+    """RT007 findings for one line.
+
+    Call sites are located on the raw line (the argument literal lives
+    inside a string, which `code` has blanked), but a match must also
+    survive in `code` so prose mentioning a call in a comment is ignored.
+    A first argument on a later line is skipped — the rule is best-effort
+    on the visible line, not a parser.
+    """
+    problems = []
+    for match in METRIC_CALL.finditer(raw):
+        if match.group(0) not in code:
+            continue  # commented-out or quoted mention, not a call
+        rest = raw[match.end():].lstrip()
+        if not rest:
+            continue  # first argument on the next line
+        if not rest.startswith('"'):
+            problems.append("metric/span name must be a string literal")
+            continue
+        literal = STRING_LITERAL.match(rest)
+        if literal and not METRIC_NAME.fullmatch(literal.group(1)):
+            problems.append(f'metric/span name "{literal.group(1)}" is not '
+                            "lowercase.dotted")
+    return problems
+
+
 class Finding:
     def __init__(self, path: pathlib.Path, line: int, rule: str, text: str):
         self.path = path
@@ -141,6 +188,7 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
     is_checked_math = rel.as_posix() == "src/util/checked_math.h"
     in_rank = rel.as_posix().startswith("src/rank/")
     is_simd_home = rel.as_posix() == "src/util/simd.h"
+    in_obs_home = rel.as_posix().startswith("src/obs/")
     in_block_comment = False
 
     for lineno, raw in enumerate(lines, start=1):
@@ -190,6 +238,9 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
                                     "src/util/simd.h; use the dispatching "
                                     "kernels (simd::AbsDiffSumI64, "
                                     "simd::JointKeys32)"))
+        if in_prod and not in_obs_home:
+            for problem in metric_name_problems(raw, line):
+                findings.append(Finding(path, lineno, "RT007", problem))
 
     if path.suffix == ".h":
         findings.extend(check_include_guard(path, rel, text))
