@@ -412,17 +412,17 @@ PairCounts ComputePairCounts(const PreparedRanking& sigma,
   }
   {
     // Key space too large for a flat buffer: sort the n joint keys in place
-    // (reused capacity, no heap traffic) and count runs.
+    // (reused capacity, no heap traffic) and count runs. The key build is
+    // SIMD-dispatched (util/simd.h) like the flat-histogram path; the sort
+    // and run walk stay scalar (Fenwick-free but data-dependent).
     if (scratch.joint_keys_.capacity() < n) {
       scratch.joint_keys_.reserve(n);
       scratch_grew = true;
     }
     scratch.joint_keys_.resize(n);
-    for (std::size_t e = 0; e < n; ++e) {
-      scratch.joint_keys_[e] = static_cast<std::int64_t>(sigma_of[e]) *
-                                   static_cast<std::int64_t>(t_tau) +
-                               tau_of[e];
-    }
+    simd::JointKeys64(sigma_of.data(), tau_of.data(), n,
+                      static_cast<std::int64_t>(t_tau),
+                      scratch.joint_keys_.data());
     std::sort(scratch.joint_keys_.begin(), scratch.joint_keys_.end());
     std::size_t i = 0;
     while (i < n) {
@@ -613,11 +613,9 @@ std::int64_t TwiceFHausdorff(const PreparedRanking& sigma,
       scratch_grew = true;
     }
     scratch.joint_keys_.resize(n);
-    for (std::size_t e = 0; e < n; ++e) {
-      scratch.joint_keys_[e] = static_cast<std::int64_t>(sigma_of[e]) *
-                                   static_cast<std::int64_t>(t_tau) +
-                               tau_of[e];
-    }
+    simd::JointKeys64(sigma_of.data(), tau_of.data(), n,
+                      static_cast<std::int64_t>(t_tau),
+                      scratch.joint_keys_.data());
     std::sort(scratch.joint_keys_.begin(), scratch.joint_keys_.end());
     std::size_t prev_s = t_sigma;  // sentinel: no row processed yet
     std::int64_t row_before = 0;

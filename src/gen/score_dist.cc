@@ -1,0 +1,107 @@
+#include "gen/score_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace rankties {
+
+ParetoSampler::ParetoSampler(double scale, double shape)
+    : scale_(scale), shape_(shape) {
+  RANKTIES_DCHECK(scale > 0.0);
+  RANKTIES_DCHECK(shape > 0.0);
+}
+
+double ParetoSampler::Sample(Rng& rng) const {
+  // UniformReal() is in [0, 1), so 1 - u is in (0, 1] and the pow is
+  // finite; u == 0 hits the distribution's minimum `scale` exactly.
+  const double u = rng.UniformReal();
+  return scale_ / std::pow(1.0 - u, 1.0 / shape_);
+}
+
+SkewedNormalSampler::SkewedNormalSampler(double location, double scale,
+                                         double shape)
+    : location_(location),
+      scale_(scale),
+      shape_(shape),
+      delta_(shape / std::sqrt(1.0 + shape * shape)) {
+  RANKTIES_DCHECK(scale > 0.0);
+}
+
+double SkewedNormalSampler::Sample(Rng& rng) const {
+  // Azzalini's conditioning representation: with (u0, v) independent
+  // standard normals, u1 = delta*u0 + sqrt(1-delta^2)*v has correlation
+  // delta with u0, and u1 conditioned on u0 >= 0 (realized by reflection)
+  // is skew-normal with shape delta/sqrt(1-delta^2).
+  const double u0 = rng.Normal(0.0, 1.0);
+  const double v = rng.Normal(0.0, 1.0);
+  const double u1 = delta_ * u0 + std::sqrt(1.0 - delta_ * delta_) * v;
+  const double z = (u0 >= 0.0) ? u1 : -u1;
+  return location_ + scale_ * z;
+}
+
+StatusOr<BucketOrder> SkewedScoreOrder(std::size_t n,
+                                       const SkewedOrderConfig& config,
+                                       Rng& rng) {
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  if (config.quantization == 0) {
+    return Status::InvalidArgument("quantization must be positive");
+  }
+  std::vector<double> scores(n);
+  switch (config.distribution) {
+    case ScoreDistribution::kPareto: {
+      if (config.pareto_scale <= 0.0 || config.pareto_shape <= 0.0) {
+        return Status::InvalidArgument("Pareto scale/shape must be positive");
+      }
+      const ParetoSampler sampler(config.pareto_scale, config.pareto_shape);
+      for (double& score : scores) score = sampler.Sample(rng);
+      break;
+    }
+    case ScoreDistribution::kNormalSkewed: {
+      if (config.skew_scale <= 0.0) {
+        return Status::InvalidArgument("skew-normal scale must be positive");
+      }
+      const SkewedNormalSampler sampler(config.skew_location,
+                                        config.skew_scale, config.skew_shape);
+      for (double& score : scores) score = sampler.Sample(rng);
+      break;
+    }
+  }
+
+  // Quantize into `quantization` equal-width levels between the realized
+  // min and max, then rank by descending level: higher scores come first,
+  // collisions become ties. Integer keys keep FromIntKeys exact.
+  const auto [min_it, max_it] = std::minmax_element(scores.begin(),
+                                                    scores.end());
+  const double lo = *min_it;
+  const double width = *max_it - lo;
+  const std::int64_t levels =
+      static_cast<std::int64_t>(config.quantization);
+  std::vector<std::int64_t> keys(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    std::int64_t level =
+        width > 0.0
+            ? static_cast<std::int64_t>((scores[e] - lo) / width *
+                                        static_cast<double>(levels))
+            : 0;
+    level = std::clamp<std::int64_t>(level, 0, levels - 1);
+    keys[e] = -level;  // Descending score order.
+  }
+  return BucketOrder::FromIntKeys(keys);
+}
+
+StatusOr<std::vector<BucketOrder>> SkewedScoreCorpus(
+    std::size_t m, std::size_t n, const SkewedOrderConfig& config, Rng& rng) {
+  if (m == 0) return Status::InvalidArgument("empty corpus");
+  std::vector<BucketOrder> corpus;
+  corpus.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    StatusOr<BucketOrder> order = SkewedScoreOrder(n, config, rng);
+    if (!order.ok()) return order.status();
+    corpus.push_back(std::move(*order));
+  }
+  return corpus;
+}
+
+}  // namespace rankties

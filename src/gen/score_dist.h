@@ -1,0 +1,97 @@
+#ifndef RANKTIES_GEN_SCORE_DIST_H_
+#define RANKTIES_GEN_SCORE_DIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rankties {
+
+/// Heavy-tailed and skewed score distributions for synthetic corpora,
+/// alongside ZipfSampler (gen/zipf.h). Modeled on the hyrise
+/// TableGenerator's column data distributions: real workloads rank by
+/// skewed attributes (prices, populations, degrees), and skew is what
+/// drives tie structure once scores are quantized — a heavy tail packs
+/// most elements into a few low-score buckets.
+
+/// Pareto (power-law) sampler: inverse-CDF transform
+/// x = scale / (1 - U)^(1/shape), support [scale, inf). Smaller `shape`
+/// means a heavier tail.
+class ParetoSampler {
+ public:
+  ParetoSampler(double scale, double shape);
+
+  double scale() const { return scale_; }
+  double shape() const { return shape_; }
+
+  /// One sample.
+  double Sample(Rng& rng) const;
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Skew-normal sampler (Azzalini): location + scale * z where z is a
+/// standard skew-normal variate with shape parameter `shape` (shape = 0
+/// degenerates to the normal; larger |shape| skews harder toward its
+/// sign). Sampled by the conditioning representation: two correlated
+/// standard normals, reflecting the second by the sign of the first.
+class SkewedNormalSampler {
+ public:
+  SkewedNormalSampler(double location, double scale, double shape);
+
+  double location() const { return location_; }
+  double scale() const { return scale_; }
+  double shape() const { return shape_; }
+
+  /// One sample.
+  double Sample(Rng& rng) const;
+
+ private:
+  double location_;
+  double scale_;
+  double shape_;
+  double delta_;  ///< shape / sqrt(1 + shape^2), precomputed.
+};
+
+/// Which score distribution SkewedScoreOrder draws from.
+enum class ScoreDistribution {
+  kPareto,
+  kNormalSkewed,
+};
+
+/// Configuration of a skewed synthetic ranking: scores are drawn i.i.d.
+/// from the distribution and quantized into `quantization` levels between
+/// the drawn min and max; elements whose scores collide share a bucket, so
+/// coarser quantization means heavier ties (matching how the paper's
+/// database scenario induces ties from attribute values).
+struct SkewedOrderConfig {
+  ScoreDistribution distribution = ScoreDistribution::kPareto;
+  double pareto_scale = 1.0;
+  double pareto_shape = 1.5;
+  double skew_location = 0.0;
+  double skew_scale = 1.0;
+  double skew_shape = 4.0;
+  /// Number of distinct quantized score levels (>= 1); the bucket count of
+  /// the result is at most this.
+  std::uint32_t quantization = 64;
+};
+
+/// One ranking of `n` elements by quantized skewed scores (higher score =
+/// better = earlier bucket). Deterministic in `rng`'s state.
+StatusOr<BucketOrder> SkewedScoreOrder(std::size_t n,
+                                       const SkewedOrderConfig& config,
+                                       Rng& rng);
+
+/// A corpus of `m` independent SkewedScoreOrder draws — the skewed bench
+/// corpus for the out-of-core engines.
+StatusOr<std::vector<BucketOrder>> SkewedScoreCorpus(
+    std::size_t m, std::size_t n, const SkewedOrderConfig& config, Rng& rng);
+
+}  // namespace rankties
+
+#endif  // RANKTIES_GEN_SCORE_DIST_H_

@@ -1,0 +1,159 @@
+#include "store/corpus_writer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.h"
+#include "store/crc32.h"
+#include "util/contracts.h"
+
+namespace rankties::store {
+
+StatusOr<CorpusWriter> CorpusWriter::Create(const std::string& path,
+                                            std::size_t n,
+                                            const Options& options) {
+  if (n == 0) return Status::InvalidArgument("corpus domain must be nonempty");
+  if (options.block_size < kMinBlockSize) {
+    return Status::InvalidArgument("block_size below minimum " +
+                                   std::to_string(kMinBlockSize));
+  }
+  if (options.lists_per_chunk == 0) {
+    return Status::InvalidArgument("lists_per_chunk must be positive");
+  }
+  StatusOr<File> file = File::Create(path);
+  if (!file.ok()) return file.status();
+  CorpusWriter writer(std::move(*file), n, options);
+  // Reserve the header slot with zeros; Finish rewrites it. A reader that
+  // opens a file whose writer never Finished sees a zero magic and rejects
+  // it cleanly.
+  unsigned char zero[kHeaderBytes] = {};
+  Status s = writer.file_.Append(zero, sizeof(zero));
+  if (!s.ok()) return s;
+  return writer;
+}
+
+CorpusWriter::CorpusWriter(File file, std::size_t n, const Options& options)
+    : file_(std::move(file)), n_(n), options_(options) {
+  block_.reserve(BlockPayloadBytes(options_.block_size));
+}
+
+Status CorpusWriter::Append(const BucketOrder& order) {
+  if (finished_) return Status::FailedPrecondition("Append after Finish");
+  if (order.n() != n_) {
+    return Status::InvalidArgument(
+        "appended order has n=" + std::to_string(order.n()) +
+        ", corpus domain is n=" + std::to_string(n_));
+  }
+  pending_.push_back(order);
+  ++num_lists_;
+  if (pending_.size() >= options_.lists_per_chunk) return FlushChunk();
+  return Status::Ok();
+}
+
+Status CorpusWriter::FlushChunk() {
+  if (pending_.empty()) return Status::Ok();
+  const std::uint64_t list_count = pending_.size();
+  std::uint64_t bucket_total = 0;
+  // Columnar chunk payload: bucket-count column, then one bucket_of column
+  // per list.
+  std::vector<unsigned char> payload;
+  payload.reserve((list_count + list_count * n_) * 4);
+  unsigned char word[4];
+  for (const BucketOrder& order : pending_) {
+    bucket_total += order.num_buckets();
+    StoreU32(word, static_cast<std::uint32_t>(order.num_buckets()));
+    payload.insert(payload.end(), word, word + 4);
+  }
+  for (const BucketOrder& order : pending_) {
+    for (std::size_t e = 0; e < n_; ++e) {
+      StoreU32(word, static_cast<std::uint32_t>(
+                         order.BucketOf(static_cast<ElementId>(e))));
+      payload.insert(payload.end(), word, word + 4);
+    }
+  }
+
+  ChunkEntry entry;
+  entry.first_list = num_lists_ - list_count;
+  entry.list_count = list_count;
+  entry.payload_offset = logical_offset_;
+  entry.payload_bytes = payload.size();
+  entry.item_count = n_;
+  entry.bucket_count = bucket_total;
+  directory_.push_back(entry);
+
+  pending_.clear();
+  RANKTIES_OBS_COUNT("store.io.chunks_written", 1);
+  return AppendPayload(payload.data(), payload.size());
+}
+
+Status CorpusWriter::AppendPayload(const unsigned char* data,
+                                   std::size_t size) {
+  const std::size_t capacity = BlockPayloadBytes(options_.block_size);
+  std::size_t done = 0;
+  while (done < size) {
+    const std::size_t take = std::min(size - done, capacity - block_.size());
+    block_.insert(block_.end(), data + done, data + done + take);
+    done += take;
+    logical_offset_ += take;
+    if (block_.size() == capacity) {
+      Status s = FlushBlock();
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status CorpusWriter::FlushBlock() {
+  if (block_.empty()) return Status::Ok();
+  const std::size_t capacity = BlockPayloadBytes(options_.block_size);
+  RANKTIES_DCHECK(block_.size() <= capacity);
+  block_.resize(capacity, 0);  // Zero padding, covered by the CRC.
+  unsigned char crc[4];
+  StoreU32(crc, Crc32(block_.data(), block_.size()));
+  Status s = file_.Append(block_.data(), block_.size());
+  if (!s.ok()) return s;
+  s = file_.Append(crc, sizeof(crc));
+  if (!s.ok()) return s;
+  ++num_blocks_;
+  block_.clear();
+  RANKTIES_OBS_COUNT("store.io.blocks_written", 1);
+  return Status::Ok();
+}
+
+Status CorpusWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("Finish called twice");
+  Status s = FlushChunk();
+  if (!s.ok()) return s;
+  s = FlushBlock();
+  if (!s.ok()) return s;
+  finished_ = true;
+
+  // Directory: num_chunks entries + trailing CRC over the entries.
+  const std::uint64_t dir_offset = file_.append_offset();
+  std::vector<unsigned char> dir(directory_.size() * kChunkEntryBytes + 4);
+  for (std::size_t c = 0; c < directory_.size(); ++c) {
+    EncodeChunkEntry(directory_[c], dir.data() + c * kChunkEntryBytes);
+  }
+  StoreU32(dir.data() + directory_.size() * kChunkEntryBytes,
+           Crc32(dir.data(), directory_.size() * kChunkEntryBytes));
+  s = file_.Append(dir.data(), dir.size());
+  if (!s.ok()) return s;
+
+  FileHeader header;
+  header.version = kFormatVersion;
+  header.block_size = options_.block_size;
+  header.n = n_;
+  header.num_lists = num_lists_;
+  header.num_chunks = directory_.size();
+  header.num_blocks = num_blocks_;
+  header.dir_offset = dir_offset;
+  header.dir_bytes = dir.size();
+  unsigned char encoded[kHeaderBytes];
+  EncodeHeader(header, encoded);
+  StoreU32(encoded + kHeaderCrcOffset, Crc32(encoded, kHeaderCrcOffset));
+  s = file_.WriteAt(0, encoded, sizeof(encoded));
+  if (!s.ok()) return s;
+  return file_.Sync();
+}
+
+}  // namespace rankties::store

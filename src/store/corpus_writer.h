@@ -1,0 +1,80 @@
+#ifndef RANKTIES_STORE_CORPUS_WRITER_H_
+#define RANKTIES_STORE_CORPUS_WRITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rank/bucket_order.h"
+#include "store/file.h"
+#include "store/format.h"
+#include "util/status.h"
+
+namespace rankties::store {
+
+/// Serializes a corpus of `BucketOrder`s over one shared domain into a
+/// `rankties-corpus-v1` file (see format.h for the layout). Lists are
+/// buffered into chunks of `lists_per_chunk` and streamed out through
+/// fixed-size CRC'd blocks; the chunk directory and final header are
+/// written by `Finish`, so a crash mid-write leaves a file the reader
+/// rejects (the placeholder header fails its CRC) instead of a silently
+/// short corpus.
+///
+/// Usage:
+///   auto writer = CorpusWriter::Create(path, n, options);
+///   for (const BucketOrder& order : corpus) writer->Append(order);
+///   writer->Finish();
+class CorpusWriter {
+ public:
+  struct Options {
+    std::uint32_t block_size = kDefaultBlockSize;
+    /// Lists grouped per chunk == the shard granularity readers see.
+    std::uint64_t lists_per_chunk = 8;
+  };
+
+  /// Creates `path` and reserves the header. `n` is the shared domain size
+  /// every appended order must match.
+  static StatusOr<CorpusWriter> Create(const std::string& path, std::size_t n,
+                                       const Options& options);
+
+  CorpusWriter(CorpusWriter&&) noexcept = default;
+  CorpusWriter& operator=(CorpusWriter&&) noexcept = default;
+
+  /// Appends one list. Orders are stored in append order; list i of the
+  /// file is the i-th Append.
+  Status Append(const BucketOrder& order);
+
+  /// Flushes the tail chunk, writes the directory, and rewrites the header
+  /// with the final counts + CRC. No Append after Finish.
+  Status Finish();
+
+  std::uint64_t num_lists() const { return num_lists_; }
+
+ private:
+  CorpusWriter(File file, std::size_t n, const Options& options);
+
+  /// Serializes the buffered lists as one chunk into the block stream.
+  Status FlushChunk();
+  /// Appends `size` bytes to the logical payload stream, emitting full
+  /// blocks (payload + CRC32) as they fill.
+  Status AppendPayload(const unsigned char* data, std::size_t size);
+  /// Pads and emits the final partial block, if any.
+  Status FlushBlock();
+
+  File file_;
+  std::uint64_t n_ = 0;
+  Options options_;
+  bool finished_ = false;
+
+  std::vector<BucketOrder> pending_;       ///< Lists of the open chunk.
+  std::vector<ChunkEntry> directory_;
+  std::vector<unsigned char> block_;       ///< Payload of the open block.
+  std::uint64_t logical_offset_ = 0;       ///< Payload bytes emitted.
+  std::uint64_t num_blocks_ = 0;
+  std::uint64_t num_lists_ = 0;
+};
+
+}  // namespace rankties::store
+
+#endif  // RANKTIES_STORE_CORPUS_WRITER_H_

@@ -1,0 +1,139 @@
+#include "store/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace rankties::store {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+File::~File() { Close(); }
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      append_offset_(other.append_offset_) {
+  other.fd_ = -1;
+  other.append_offset_ = 0;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    append_offset_ = other.append_offset_;
+    other.fd_ = -1;
+    other.append_offset_ = 0;
+  }
+  return *this;
+}
+
+StatusOr<File> File::OpenRead(const std::string& path) {
+  File file;
+  file.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);  // NOLINT
+  if (file.fd_ < 0) {
+    return Status::NotFound(Errno("open", path));
+  }
+  file.path_ = path;
+  return file;
+}
+
+StatusOr<File> File::Create(const std::string& path) {
+  File file;
+  file.fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                    0644);  // NOLINT
+  if (file.fd_ < 0) {
+    return Status::Internal(Errno("create", path));
+  }
+  file.path_ = path;
+  return file;
+}
+
+Status File::ReadAt(std::uint64_t offset, void* out, std::size_t size) const {
+  if (fd_ < 0) return Status::FailedPrecondition("ReadAt on closed file");
+  char* dst = static_cast<char*>(out);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::pread(fd_, dst + done, size - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("pread", path_));
+    }
+    if (got == 0) {
+      return Status::DataLoss("short read at offset " +
+                              std::to_string(offset + done) + " in " + path_ +
+                              " (file truncated?)");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  RANKTIES_OBS_COUNT("store.io.reads", 1);
+  RANKTIES_OBS_COUNT("store.io.bytes_read", static_cast<std::int64_t>(size));
+  return Status::Ok();
+}
+
+Status File::WriteAt(std::uint64_t offset, const void* data,
+                     std::size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("WriteAt on closed file");
+  const char* src = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t put = ::pwrite(fd_, src + done, size - done,
+                                 static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("pwrite", path_));
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  RANKTIES_OBS_COUNT("store.io.writes", 1);
+  RANKTIES_OBS_COUNT("store.io.bytes_written",
+                     static_cast<std::int64_t>(size));
+  return Status::Ok();
+}
+
+Status File::Append(const void* data, std::size_t size) {
+  Status s = WriteAt(append_offset_, data, size);
+  if (s.ok()) append_offset_ += size;
+  return s;
+}
+
+StatusOr<std::uint64_t> File::Size() const {
+  if (fd_ < 0) return Status::FailedPrecondition("Size on closed file");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::Internal(Errno("fstat", path_));
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Status File::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("Sync on closed file");
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(Errno("fsync", path_));
+  }
+  return Status::Ok();
+}
+
+void File::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace rankties::store

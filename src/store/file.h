@@ -1,0 +1,69 @@
+#ifndef RANKTIES_STORE_FILE_H_
+#define RANKTIES_STORE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace rankties::store {
+
+/// Thin RAII wrapper over a POSIX file descriptor. All raw I/O in the
+/// library funnels through this class (rankties-lint RT008 forbids raw
+/// fopen/mmap/read calls outside src/store/), so error handling, offset
+/// arithmetic, and the Status mapping live in exactly one place.
+///
+/// Reads and writes are positional (`pread`/`pwrite`): the wrapper keeps no
+/// cursor, so a single `File` can serve concurrent readers (the `Pager`
+/// relies on this — `ReadAt` is thread-safe).
+class File {
+ public:
+  File() = default;
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+
+  /// Opens `path` read-only.
+  static StatusOr<File> OpenRead(const std::string& path);
+  /// Creates (or truncates) `path` for writing.
+  static StatusOr<File> Create(const std::string& path);
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  /// Reads exactly `size` bytes at byte `offset` into `out`. A short read
+  /// (EOF before `size` bytes) is DataLoss: the caller asked for bytes the
+  /// format says must exist.
+  Status ReadAt(std::uint64_t offset, void* out, std::size_t size) const;
+
+  /// Writes exactly `size` bytes at byte `offset`.
+  Status WriteAt(std::uint64_t offset, const void* data, std::size_t size);
+
+  /// Appends exactly `size` bytes at the current append offset (tracked by
+  /// the writer, not the kernel) and advances it.
+  Status Append(const void* data, std::size_t size);
+
+  /// Byte offset the next Append writes at == bytes appended so far.
+  std::uint64_t append_offset() const { return append_offset_; }
+
+  /// Total size of the file in bytes.
+  StatusOr<std::uint64_t> Size() const;
+
+  /// Flushes file contents to stable storage (fsync).
+  Status Sync();
+
+  /// Closes the descriptor; further I/O fails. Idempotent.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t append_offset_ = 0;
+};
+
+}  // namespace rankties::store
+
+#endif  // RANKTIES_STORE_FILE_H_

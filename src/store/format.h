@@ -1,0 +1,148 @@
+#ifndef RANKTIES_STORE_FORMAT_H_
+#define RANKTIES_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rankties::store {
+
+/// On-disk layout of a `rankties-corpus-v1` file (all integers
+/// little-endian):
+///
+///   [ file header, 68 bytes                                   ]
+///   [ data block 0 ][ data block 1 ] ... [ data block B-1     ]
+///   [ chunk directory: C x 48-byte entries ][ directory CRC32 ]
+///
+/// Every data block is exactly `block_size` bytes: `block_size - 4` payload
+/// bytes followed by a CRC32 of those payload bytes. The logical payload
+/// stream is the concatenation of all block payloads; chunks address it by
+/// logical offset, so a chunk may span blocks and a block may hold pieces
+/// of several chunks. The tail of the last block is zero padding (covered
+/// by its CRC).
+///
+/// A chunk is a group of consecutive lists stored columnar:
+///   [ list_count x u32 bucket-count column ]
+///   [ list 0: n x u32 bucket_of column ] ... [ list k-1: ... ]
+///
+/// The fixed-size directory lives at the end so the writer can stream
+/// blocks without knowing the chunk count up front; the header (rewritten
+/// on Finish) pins its offset.
+inline constexpr char kMagic[8] = {'R', 'K', 'T', 'C', 'R', 'P', 'S', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 68;
+inline constexpr std::size_t kHeaderCrcOffset = 64;
+inline constexpr std::size_t kChunkEntryBytes = 48;
+inline constexpr std::size_t kBlockCrcBytes = 4;
+/// Blocks must hold a CRC plus at least one payload word.
+inline constexpr std::uint32_t kMinBlockSize = 64;
+inline constexpr std::uint32_t kDefaultBlockSize = 1u << 16;
+
+/// Decoded file header. `header_crc` covers the first 64 encoded bytes.
+struct FileHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t block_size = kDefaultBlockSize;
+  std::uint64_t n = 0;           ///< Domain size shared by every list.
+  std::uint64_t num_lists = 0;
+  std::uint64_t num_chunks = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t dir_offset = 0;  ///< Byte offset of the chunk directory.
+  std::uint64_t dir_bytes = 0;   ///< Directory size incl. trailing CRC32.
+};
+
+/// One chunk directory entry. Offsets are into the logical payload stream
+/// (block payloads concatenated), not raw file bytes.
+struct ChunkEntry {
+  std::uint64_t first_list = 0;
+  std::uint64_t list_count = 0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t item_count = 0;    ///< == n; duplicated for validation.
+  std::uint64_t bucket_count = 0;  ///< Total buckets across the chunk.
+};
+
+inline void StoreU32(unsigned char* dst, std::uint32_t v) {
+  dst[0] = static_cast<unsigned char>(v);
+  dst[1] = static_cast<unsigned char>(v >> 8);
+  dst[2] = static_cast<unsigned char>(v >> 16);
+  dst[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void StoreU64(unsigned char* dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+inline std::uint32_t LoadU32(const unsigned char* src) {
+  return static_cast<std::uint32_t>(src[0]) |
+         static_cast<std::uint32_t>(src[1]) << 8 |
+         static_cast<std::uint32_t>(src[2]) << 16 |
+         static_cast<std::uint32_t>(src[3]) << 24;
+}
+
+inline std::uint64_t LoadU64(const unsigned char* src) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | src[i];
+  }
+  return v;
+}
+
+/// Encodes `header` into `out[0..63]`; the caller appends the CRC.
+inline void EncodeHeader(const FileHeader& header, unsigned char* out) {
+  std::memcpy(out, kMagic, sizeof(kMagic));
+  StoreU32(out + 8, header.version);
+  StoreU32(out + 12, header.block_size);
+  StoreU64(out + 16, header.n);
+  StoreU64(out + 24, header.num_lists);
+  StoreU64(out + 32, header.num_chunks);
+  StoreU64(out + 40, header.num_blocks);
+  StoreU64(out + 48, header.dir_offset);
+  StoreU64(out + 56, header.dir_bytes);
+}
+
+/// Decodes `src[8..63]` (past the magic) into `header`.
+inline void DecodeHeader(const unsigned char* src, FileHeader* header) {
+  header->version = LoadU32(src + 8);
+  header->block_size = LoadU32(src + 12);
+  header->n = LoadU64(src + 16);
+  header->num_lists = LoadU64(src + 24);
+  header->num_chunks = LoadU64(src + 32);
+  header->num_blocks = LoadU64(src + 40);
+  header->dir_offset = LoadU64(src + 48);
+  header->dir_bytes = LoadU64(src + 56);
+}
+
+inline void EncodeChunkEntry(const ChunkEntry& entry, unsigned char* out) {
+  StoreU64(out, entry.first_list);
+  StoreU64(out + 8, entry.list_count);
+  StoreU64(out + 16, entry.payload_offset);
+  StoreU64(out + 24, entry.payload_bytes);
+  StoreU64(out + 32, entry.item_count);
+  StoreU64(out + 40, entry.bucket_count);
+}
+
+inline void DecodeChunkEntry(const unsigned char* src, ChunkEntry* entry) {
+  entry->first_list = LoadU64(src);
+  entry->list_count = LoadU64(src + 8);
+  entry->payload_offset = LoadU64(src + 16);
+  entry->payload_bytes = LoadU64(src + 24);
+  entry->item_count = LoadU64(src + 32);
+  entry->bucket_count = LoadU64(src + 40);
+}
+
+/// Payload bytes carried by each data block.
+inline std::size_t BlockPayloadBytes(std::uint32_t block_size) {
+  return block_size - kBlockCrcBytes;
+}
+
+/// File byte offset of data block `index`.
+inline std::uint64_t BlockFileOffset(std::uint32_t block_size,
+                                     std::uint64_t index) {
+  return kHeaderBytes + index * static_cast<std::uint64_t>(block_size);
+}
+
+}  // namespace rankties::store
+
+#endif  // RANKTIES_STORE_FORMAT_H_

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNDEFINED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

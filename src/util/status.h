@@ -22,6 +22,9 @@ enum class StatusCode {
   kUndefined = 5,  ///< A mathematically undefined result (e.g. gamma with no
                    ///< untied pairs, Goodman & Kruskal [13]).
   kInternal = 6,
+  kDataLoss = 7,  ///< On-disk bytes failed validation (truncation, CRC
+                  ///< mismatch): the data is unrecoverable, not merely
+                  ///< malformed input.
 };
 
 /// Returns a stable human-readable name for `code` ("OK",
@@ -61,6 +64,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

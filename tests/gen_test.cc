@@ -5,6 +5,7 @@
 #include "core/kendall.h"
 #include "gen/mallows.h"
 #include "gen/random_orders.h"
+#include "gen/score_dist.h"
 #include "gen/zipf.h"
 #include "util/rng.h"
 
@@ -151,6 +152,124 @@ TEST(ZipfTest, SingleValue) {
   Rng rng(10);
   const ZipfSampler zipf(1, 1.0);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ParetoTest, SeededDeterminism) {
+  const ParetoSampler pareto(1.0, 1.5);
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pareto.Sample(a), pareto.Sample(b));
+  }
+}
+
+TEST(ParetoTest, SupportAndHeavyTail) {
+  Rng rng(78);
+  const ParetoSampler pareto(2.0, 1.5);
+  int above_double = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = pareto.Sample(rng);
+    EXPECT_GE(x, 2.0);  // Support is [scale, inf).
+    if (x > 4.0) ++above_double;
+  }
+  // P(X > 2*scale) = 2^-shape ~ 0.354 for shape 1.5; the tail is fat.
+  EXPECT_GT(above_double, 1000);
+  EXPECT_LT(above_double, 1900);
+}
+
+TEST(SkewedNormalTest, SeededDeterminism) {
+  const SkewedNormalSampler skew(0.0, 1.0, 4.0);
+  Rng a(79);
+  Rng b(79);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(skew.Sample(a), skew.Sample(b));
+  }
+}
+
+TEST(SkewedNormalTest, ShapeSkewsTheMass) {
+  // With shape 4 most mass sits above the location; with shape -4, below.
+  Rng rng(80);
+  const SkewedNormalSampler right(0.0, 1.0, 4.0);
+  const SkewedNormalSampler left(0.0, 1.0, -4.0);
+  int right_above = 0;
+  int left_above = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (right.Sample(rng) > 0.0) ++right_above;
+    if (left.Sample(rng) > 0.0) ++left_above;
+  }
+  EXPECT_GT(right_above, 3400);  // P(Z > 0) ~ 0.922 at shape 4.
+  EXPECT_LT(left_above, 600);
+}
+
+TEST(SkewedNormalTest, ZeroShapeIsSymmetric) {
+  Rng rng(81);
+  const SkewedNormalSampler normal(0.0, 1.0, 0.0);
+  int above = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (normal.Sample(rng) > 0.0) ++above;
+  }
+  EXPECT_GT(above, 1800);
+  EXPECT_LT(above, 2200);
+}
+
+TEST(SkewedScoreOrderTest, ValidDeterministicAndTied) {
+  SkewedOrderConfig config;
+  config.quantization = 16;
+  Rng a(82);
+  Rng b(82);
+  StatusOr<BucketOrder> first = SkewedScoreOrder(200, config, a);
+  StatusOr<BucketOrder> second = SkewedScoreOrder(200, config, b);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // Same seed, same order.
+  EXPECT_TRUE(first->Validate().ok());
+  // Quantization caps the bucket count, so a 200-element order has ties.
+  EXPECT_LE(first->num_buckets(), 16u);
+  EXPECT_GE(first->num_buckets(), 2u);
+}
+
+TEST(SkewedScoreOrderTest, NormalSkewedDistributionWorks) {
+  SkewedOrderConfig config;
+  config.distribution = ScoreDistribution::kNormalSkewed;
+  config.quantization = 24;
+  Rng rng(83);
+  StatusOr<BucketOrder> order = SkewedScoreOrder(150, config, rng);
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->Validate().ok());
+  EXPECT_LE(order->num_buckets(), 24u);
+}
+
+TEST(SkewedScoreOrderTest, RejectsBadConfigs) {
+  Rng rng(84);
+  EXPECT_FALSE(SkewedScoreOrder(0, SkewedOrderConfig{}, rng).ok());
+  SkewedOrderConfig zero_quant;
+  zero_quant.quantization = 0;
+  EXPECT_FALSE(SkewedScoreOrder(10, zero_quant, rng).ok());
+  SkewedOrderConfig bad_pareto;
+  bad_pareto.pareto_shape = -1.0;
+  EXPECT_FALSE(SkewedScoreOrder(10, bad_pareto, rng).ok());
+  SkewedOrderConfig bad_skew;
+  bad_skew.distribution = ScoreDistribution::kNormalSkewed;
+  bad_skew.skew_scale = 0.0;
+  EXPECT_FALSE(SkewedScoreOrder(10, bad_skew, rng).ok());
+}
+
+TEST(SkewedScoreCorpusTest, DeterministicCorpusOfValidOrders) {
+  SkewedOrderConfig config;
+  Rng a(85);
+  Rng b(85);
+  StatusOr<std::vector<BucketOrder>> first =
+      SkewedScoreCorpus(6, 50, config, a);
+  StatusOr<std::vector<BucketOrder>> second =
+      SkewedScoreCorpus(6, 50, config, b);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), 6u);
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i], (*second)[i]);
+    EXPECT_TRUE((*first)[i].Validate().ok());
+  }
+  EXPECT_FALSE(SkewedScoreCorpus(0, 50, config, a).ok());
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+// rankties-lint-fixture: expect RT008
+// Raw file I/O outside src/store/ dodges the store's byte discipline:
+// no Status-carrying error path, no EINTR retry, no store.io.* counters,
+// and bytes that never pass a CRC check.
+#include <cstdio>
+
+namespace rankties {
+
+long FileBytes(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return -1;
+  char buffer[256];
+  long total = 0;
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    total += static_cast<long>(got);
+  }
+  std::fclose(f);
+  return total;
+}
+
+}  // namespace rankties

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -91,6 +92,42 @@ TEST_F(SimdTest, JointKeysMatchScalarAtEveryLevel) {
         SetLevelForTesting(level);
         std::vector<std::int32_t> got(n, -1);
         JointKeys32(sigma_of.data(), tau_of.data(), n, t_tau, got.data());
+        EXPECT_EQ(got, want)
+            << "n=" << n << " t_tau=" << t_tau
+            << " level=" << LevelName(ActiveLevel());
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, JointKeys64MatchScalarAtEveryLevel) {
+  Rng rng(100);
+  // t_tau values past the int32 histogram cap exercise the genuinely
+  // 64-bit products the sorted fallback needs (bucket counts are int32,
+  // but sigma_of * t_tau is not).
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{8}, std::size_t{400}}) {
+    for (const std::int64_t t_tau :
+         {std::int64_t{1}, std::int64_t{7}, std::int64_t{1} << 20,
+          std::int64_t{1} << 30}) {
+      std::vector<std::int32_t> sigma_of(n);
+      std::vector<std::int32_t> tau_of(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        sigma_of[i] =
+            static_cast<std::int32_t>(rng.UniformInt(0, (1 << 30) - 1));
+        tau_of[i] = static_cast<std::int32_t>(
+            rng.UniformInt(0, static_cast<int>(
+                                  std::min<std::int64_t>(t_tau, 1 << 30)) -
+                                  1));
+      }
+      std::vector<std::int64_t> want(n);
+      JointKeys64Scalar(sigma_of.data(), tau_of.data(), n, t_tau,
+                        want.data());
+      for (const Level level : {Level::kScalar, Level::kAvx2}) {
+        SetLevelForTesting(level);
+        std::vector<std::int64_t> got(n, -1);
+        JointKeys64(sigma_of.data(), tau_of.data(), n, t_tau, got.data());
         EXPECT_EQ(got, want)
             << "n=" << n << " t_tau=" << t_tau
             << " level=" << LevelName(ActiveLevel());

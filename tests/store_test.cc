@@ -1,0 +1,297 @@
+// Round-trip and robustness tests for the rankties-corpus-v1 on-disk
+// format (store/corpus_writer.h, store/corpus_reader.h). The corruption
+// cases are the satellite contract of ISSUE 9: truncated file, flipped CRC
+// byte, bad magic/version, and zero-chunk corpus must all come back as
+// clean Status errors — no UB — under the ASan/UBSan CI legs.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/random_orders.h"
+#include "gtest/gtest.h"
+#include "rank/bucket_order.h"
+#include "store/corpus_reader.h"
+#include "store/corpus_writer.h"
+#include "store/crc32.h"
+#include "store/format.h"
+#include "util/rng.h"
+
+namespace rankties {
+namespace {
+
+namespace fs = std::filesystem;
+using CorpusWriter = store::CorpusWriter;
+
+std::string TestPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::vector<BucketOrder> MakeCorpus(std::size_t m, std::size_t n,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BucketOrder> corpus;
+  corpus.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    corpus.push_back(RandomBucketOrder(n, rng));
+  }
+  return corpus;
+}
+
+void WriteCorpus(const std::string& path,
+                 const std::vector<BucketOrder>& corpus,
+                 const CorpusWriter::Options& options) {
+  StatusOr<store::CorpusWriter> writer =
+      store::CorpusWriter::Create(path, corpus.front().n(), options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (const BucketOrder& order : corpus) {
+    ASSERT_TRUE(writer->Append(order).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+}
+
+std::vector<BucketOrder> ReadAll(store::CorpusReader& reader) {
+  std::vector<BucketOrder> all;
+  std::vector<BucketOrder> chunk;
+  for (std::size_t c = 0; c < reader.num_chunks(); ++c) {
+    Status s = reader.ReadChunk(c, &chunk);
+    EXPECT_TRUE(s.ok()) << s;
+    for (BucketOrder& order : chunk) all.push_back(std::move(order));
+  }
+  return all;
+}
+
+void FlipByte(const std::string& path, std::uint64_t offset) {
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+TEST(StoreRoundTrip, SingleChunkSingleBlock) {
+  const std::string path = TestPath("roundtrip_small.corpus");
+  const std::vector<BucketOrder> corpus = MakeCorpus(5, 40, 1);
+  CorpusWriter::Options options;
+  options.lists_per_chunk = 8;  // All five lists land in one tail chunk.
+  WriteCorpus(path, corpus, options);
+
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->n(), 40u);
+  EXPECT_EQ(reader->num_lists(), 5u);
+  EXPECT_EQ(reader->num_chunks(), 1u);
+  const std::vector<BucketOrder> decoded = ReadAll(*reader);
+  ASSERT_EQ(decoded.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(decoded[i], corpus[i]) << "list " << i;
+  }
+}
+
+TEST(StoreRoundTrip, MultiChunkTinyBlocksCrossBoundaries) {
+  // 64-byte blocks (60 payload bytes) force every chunk across many block
+  // boundaries, and 3 lists per chunk leaves a short tail chunk.
+  const std::string path = TestPath("roundtrip_tiny_blocks.corpus");
+  const std::vector<BucketOrder> corpus = MakeCorpus(11, 23, 2);
+  CorpusWriter::Options options;
+  options.block_size = store::kMinBlockSize;
+  options.lists_per_chunk = 3;
+  WriteCorpus(path, corpus, options);
+
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->num_chunks(), 4u);  // 3+3+3+2
+  EXPECT_EQ(reader->chunk(3).list_count, 2u);
+  const std::vector<BucketOrder> decoded = ReadAll(*reader);
+  ASSERT_EQ(decoded.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(decoded[i], corpus[i]) << "list " << i;
+  }
+}
+
+TEST(StoreRoundTrip, DegenerateShapes) {
+  // Single-bucket (all tied) and full (all singleton) lists round-trip.
+  const std::string path = TestPath("roundtrip_degenerate.corpus");
+  std::vector<BucketOrder> corpus;
+  corpus.push_back(BucketOrder::SingleBucket(12));
+  std::vector<std::int64_t> keys(12);
+  for (std::size_t e = 0; e < keys.size(); ++e) {
+    keys[e] = static_cast<std::int64_t>(keys.size() - e);
+  }
+  corpus.push_back(BucketOrder::FromIntKeys(keys));
+  WriteCorpus(path, corpus, CorpusWriter::Options{});
+
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const std::vector<BucketOrder> decoded = ReadAll(*reader);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], corpus[0]);
+  EXPECT_EQ(decoded[1], corpus[1]);
+}
+
+TEST(StoreWriter, RejectsBadArguments) {
+  EXPECT_FALSE(
+      store::CorpusWriter::Create(TestPath("bad.corpus"), 0, {}).ok());
+  CorpusWriter::Options bad_block;
+  bad_block.block_size = 8;
+  EXPECT_FALSE(
+      store::CorpusWriter::Create(TestPath("bad.corpus"), 5, bad_block)
+          .ok());
+  CorpusWriter::Options bad_chunk;
+  bad_chunk.lists_per_chunk = 0;
+  EXPECT_FALSE(
+      store::CorpusWriter::Create(TestPath("bad.corpus"), 5, bad_chunk)
+          .ok());
+
+  StatusOr<store::CorpusWriter> writer =
+      store::CorpusWriter::Create(TestPath("bad.corpus"), 5, {});
+  ASSERT_TRUE(writer.ok());
+  // Domain mismatch is InvalidArgument.
+  Rng rng(3);
+  const Status mismatch = writer->Append(RandomBucketOrder(7, rng));
+  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  // Append/Finish after Finish fail cleanly.
+  ASSERT_TRUE(writer->Append(RandomBucketOrder(5, rng)).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_EQ(writer->Append(RandomBucketOrder(5, rng)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Finish().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StoreRobustness, MissingFileIsNotFound) {
+  StatusOr<store::CorpusReader> reader = store::CorpusReader::Open(
+      TestPath("does_not_exist.corpus"), store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StoreRobustness, TruncatedHeaderIsDataLoss) {
+  const std::string path = TestPath("truncated_header.corpus");
+  WriteCorpus(path, MakeCorpus(4, 16, 4), CorpusWriter::Options{});
+  fs::resize_file(path, store::kHeaderBytes / 2);
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreRobustness, TruncatedBodyIsDataLoss) {
+  const std::string path = TestPath("truncated_body.corpus");
+  WriteCorpus(path, MakeCorpus(4, 16, 5), CorpusWriter::Options{});
+  const std::uint64_t full = fs::file_size(path);
+  // Chop the directory (and part of the block area) off the end.
+  fs::resize_file(path, full - store::kChunkEntryBytes - 8);
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreRobustness, BadMagicIsInvalidArgument) {
+  const std::string path = TestPath("bad_magic.corpus");
+  WriteCorpus(path, MakeCorpus(4, 16, 6), CorpusWriter::Options{});
+  FlipByte(path, 0);
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreRobustness, BadVersionIsRejected) {
+  const std::string path = TestPath("bad_version.corpus");
+  WriteCorpus(path, MakeCorpus(4, 16, 7), CorpusWriter::Options{});
+  // Rewrite the version field and refresh the header CRC so only the
+  // version is wrong.
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  unsigned char header[store::kHeaderBytes];
+  file.read(reinterpret_cast<char*>(header), sizeof(header));
+  store::StoreU32(header + 8, store::kFormatVersion + 1);
+  store::StoreU32(header + store::kHeaderCrcOffset,
+                  store::Crc32(header, store::kHeaderCrcOffset));
+  file.seekp(0);
+  file.write(reinterpret_cast<const char*>(header), sizeof(header));
+  file.close();
+
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreRobustness, FlippedHeaderByteIsDataLoss) {
+  const std::string path = TestPath("bad_header_crc.corpus");
+  WriteCorpus(path, MakeCorpus(4, 16, 8), CorpusWriter::Options{});
+  FlipByte(path, 16);  // Inside the n field; header CRC now mismatches.
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreRobustness, FlippedBlockByteIsDataLossOnRead) {
+  const std::string path = TestPath("bad_block_crc.corpus");
+  WriteCorpus(path, MakeCorpus(4, 16, 9), CorpusWriter::Options{});
+  // Open succeeds (header and directory are intact)...
+  FlipByte(path, store::kHeaderBytes + 10);
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  // ...but paging the corrupt block in is DataLoss.
+  std::vector<BucketOrder> chunk;
+  const Status s = reader->ReadChunk(0, &chunk);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreRobustness, FlippedDirectoryByteIsDataLoss) {
+  const std::string path = TestPath("bad_dir_crc.corpus");
+  WriteCorpus(path, MakeCorpus(4, 16, 10), CorpusWriter::Options{});
+  const std::uint64_t full = fs::file_size(path);
+  FlipByte(path, full - 12);  // Inside the last chunk entry.
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreRobustness, ZeroChunkCorpusIsInvalidArgument) {
+  const std::string path = TestPath("zero_chunks.corpus");
+  StatusOr<store::CorpusWriter> writer =
+      store::CorpusWriter::Create(path, 8, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Finish().ok());  // No lists appended.
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreRobustness, UnfinishedWriterFileIsRejected) {
+  const std::string path = TestPath("unfinished.corpus");
+  {
+    StatusOr<store::CorpusWriter> writer =
+        store::CorpusWriter::Create(path, 8, {});
+    ASSERT_TRUE(writer.ok());
+    Rng rng(11);
+    ASSERT_TRUE(writer->Append(RandomBucketOrder(8, rng)).ok());
+    // No Finish: the header slot is still the zero placeholder.
+  }
+  StatusOr<store::CorpusReader> reader =
+      store::CorpusReader::Open(path, store::Pager::Options{});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rankties

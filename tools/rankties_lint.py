@@ -62,6 +62,18 @@ Rules (rationale in docs/STATIC_ANALYSIS.md):
                                generically), and a first argument on a
                                later line is skipped.
 
+  RT008 raw-file-io            Raw file I/O (fopen/fread/fwrite family,
+                               ::open/::read/::write, mmap/munmap,
+                               pread/pwrite, std::*fstream) in src/ outside
+                               src/store/. The store owns durable bytes:
+                               store::File centralizes Status-carrying
+                               error handling, EINTR retry, and the
+                               store.io.* obs counters, and the corpus
+                               format's CRC discipline only holds if every
+                               byte passes through it. src/obs/export.cc is
+                               exempt (the OpenMetrics text exporter writes
+                               operator-facing snapshots, not corpus data).
+
 A finding on a line carrying `rankties-lint: allow(RTxxx)` is suppressed.
 
 Usage:
@@ -95,6 +107,13 @@ FIELD_ACCESS = re.compile(
 )
 RAW_INTRINSICS = re.compile(
     r"\b_mm\d*_\w+|\b__m(?:128|256|512)[di]?\b|#\s*include\s*<\w*intrin\.h>"
+)
+RAW_FILE_IO = re.compile(
+    r"(?<![_A-Za-z])f(?:open|dopen|reopen|read|write)\s*\(|"
+    r"::(?:open|read|write)\s*\(|"
+    r"(?<![_A-Za-z])m(?:map|unmap)\s*\(|"
+    r"(?<![_A-Za-z])p(?:read|write)\s*\(|"
+    r"\bstd::[io]?fstream\b"
 )
 METRIC_CALL = re.compile(
     r"RANKTIES_OBS_COUNT\s*\(|RANKTIES_OBS_RECORD\s*\(|"
@@ -189,6 +208,8 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
     in_rank = rel.as_posix().startswith("src/rank/")
     is_simd_home = rel.as_posix() == "src/util/simd.h"
     in_obs_home = rel.as_posix().startswith("src/obs/")
+    in_store_home = (rel.as_posix().startswith("src/store/")
+                     or rel.as_posix() == "src/obs/export.cc")
     in_block_comment = False
 
     for lineno, raw in enumerate(lines, start=1):
@@ -241,6 +262,13 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
         if in_prod and not in_obs_home:
             for problem in metric_name_problems(raw, line):
                 findings.append(Finding(path, lineno, "RT007", problem))
+        if (in_src or fixture_mode) and not in_store_home \
+                and RAW_FILE_IO.search(line):
+            findings.append(Finding(path, lineno, "RT008",
+                                    "raw file I/O outside src/store/; "
+                                    "route bytes through store::File so "
+                                    "Status handling and store.io.* "
+                                    "accounting stay centralized"))
 
     if path.suffix == ".h":
         findings.extend(check_include_guard(path, rel, text))
