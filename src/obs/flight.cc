@@ -81,7 +81,7 @@ void FlightRecorder::SetEnabled(bool enabled) {
 
 FlightRecorder::ThreadRing* FlightRecorder::RingForThisThread() {
   thread_local ThreadRing* t_ring = [this]() -> ThreadRing* {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(rings_mu_);
     if (rings_.size() >= kMaxThreads) return nullptr;
     auto* ring = new ThreadRing(static_cast<std::uint32_t>(rings_.size()));
     rings_.push_back(ring);
@@ -113,7 +113,7 @@ void FlightRecorder::Record(FlightEventId id, std::int64_t a0,
 
 std::vector<FlightEvent> FlightRecorder::Drain() const {
   std::vector<FlightEvent> events;
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (const ThreadRing* ring : rings_) {
     const std::uint64_t head = ring->head.load(std::memory_order_acquire);
     const std::uint64_t live =
@@ -139,7 +139,7 @@ std::vector<FlightEvent> FlightRecorder::Drain() const {
 
 std::int64_t FlightRecorder::overwritten() const {
   std::int64_t total = 0;
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (const ThreadRing* ring : rings_) {
     const std::uint64_t head = ring->head.load(std::memory_order_acquire);
     if (head > kEventsPerThread) {
@@ -150,7 +150,7 @@ std::int64_t FlightRecorder::overwritten() const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (ThreadRing* ring : rings_) {
     ring->head.store(0, std::memory_order_release);
   }

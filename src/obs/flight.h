@@ -34,9 +34,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace rankties {
@@ -103,23 +103,24 @@ class FlightRecorder {
               std::int64_t a2 = 0);
 
   /// Every live event from every ring, merged and sorted by timestamp.
-  std::vector<FlightEvent> Drain() const;
+  std::vector<FlightEvent> Drain() const RANKTIES_EXCLUDES(rings_mu_);
 
   /// Events lost because the kMaxThreads ring cap was reached.
   std::int64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
   /// Events overwritten by ring wrap-around, summed over threads.
-  std::int64_t overwritten() const;
+  std::int64_t overwritten() const RANKTIES_EXCLUDES(rings_mu_);
 
   /// Empties every ring and zeroes dropped() (tests; racing writers may
   /// land events on either side of the reset).
-  void Clear();
+  void Clear() RANKTIES_EXCLUDES(rings_mu_);
 
   /// Writes the newest `max_events` events (0 = a small default) to
   /// stderr, newest last — the post-mortem path, also reachable through
   /// the contract failure hook.
-  void DumpToStderr(std::size_t max_events = 0) const;
+  void DumpToStderr(std::size_t max_events = 0) const
+      RANKTIES_EXCLUDES(rings_mu_);
 
  private:
   // Stored form of one event: every field is a relaxed atomic so a drain
@@ -146,13 +147,15 @@ class FlightRecorder {
 
   /// The calling thread's ring, registering it on first use; nullptr once
   /// kMaxThreads rings exist.
-  ThreadRing* RingForThisThread();
+  ThreadRing* RingForThisThread() RANKTIES_EXCLUDES(rings_mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::int64_t> dropped_{0};
-  mutable std::mutex rings_mu_;
-  /// Owned rings, never freed (post-mortem dumps outlive their threads).
-  std::vector<ThreadRing*> rings_;  // guarded by rings_mu_
+  mutable Mutex rings_mu_{"obs.flight.rings"};
+  /// Owned rings, never freed (post-mortem dumps outlive their threads;
+  /// each ring's slots are lock-free atomics — only the vector of ring
+  /// pointers is guarded).
+  std::vector<ThreadRing*> rings_ RANKTIES_GUARDED_BY(rings_mu_);
 };
 
 /// Shorthand for FlightRecorder::Global().Record(...) with the enabled

@@ -63,7 +63,7 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -75,7 +75,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Histogram* Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -87,7 +87,7 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 }
 
 std::vector<CounterSnapshot> Registry::CounterSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<CounterSnapshot> snapshots;
   snapshots.reserve(counters_.size());
   for (const auto& entry : counters_) {
@@ -97,7 +97,7 @@ std::vector<CounterSnapshot> Registry::CounterSnapshots() const {
 }
 
 std::vector<HistogramSnapshot> Registry::HistogramSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<HistogramSnapshot> snapshots;
   snapshots.reserve(histograms_.size());
   for (const auto& entry : histograms_) {
@@ -107,7 +107,7 @@ std::vector<HistogramSnapshot> Registry::HistogramSnapshots() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& entry : counters_) entry.second->Reset();
   for (const auto& entry : histograms_) entry.second->Reset();
 }

@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace rankties {
 namespace obs {
@@ -203,23 +204,30 @@ class Registry {
   /// its workers at exit).
   static Registry& Global();
 
-  Counter* GetCounter(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) RANKTIES_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) RANKTIES_EXCLUDES(mu_);
 
   /// All counters, sorted by name.
-  std::vector<CounterSnapshot> CounterSnapshots() const;
+  std::vector<CounterSnapshot> CounterSnapshots() const
+      RANKTIES_EXCLUDES(mu_);
   /// All histograms, sorted by name.
-  std::vector<HistogramSnapshot> HistogramSnapshots() const;
+  std::vector<HistogramSnapshot> HistogramSnapshots() const
+      RANKTIES_EXCLUDES(mu_);
 
   /// Zeroes every metric (tests and bench baselines only).
-  void ResetAll();
+  void ResetAll() RANKTIES_EXCLUDES(mu_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // "obs.registry" is a leaf in the lock hierarchy (DESIGN.md §11): handle
+  // registration happens under callers' locks on first use, so nothing may
+  // be acquired while it is held.
+  mutable Mutex mu_{"obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      RANKTIES_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      RANKTIES_GUARDED_BY(mu_);
 };
 
 /// Shorthands for Registry::Global().

@@ -30,30 +30,35 @@ Sampler& Sampler::Global() {
 }
 
 void Sampler::Start(std::chrono::milliseconds period, std::size_t capacity) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (running_) return;
-    running_ = true;
-    stop_requested_ = false;
-    capacity_ = std::max<std::size_t>(capacity, 2);
-  }
+  MutexLock lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  capacity_ = std::max<std::size_t>(capacity, 2);
+  // Spawned with mu_ held so the handle hand-off to Stop() is
+  // synchronized; RunLoop's first action is to take mu_ itself, so the
+  // new thread just blocks until this Start returns.
   worker_ = std::thread([this, period] { RunLoop(period); });
 }
 
 void Sampler::Stop() {
+  std::thread worker;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
+    MutexLock lock(mu_);
+    // stop_requested_ also covers a second Stop racing the first: the
+    // loser returns instead of joining a moved-from handle.
+    if (!running_ || stop_requested_) return;
     stop_requested_ = true;
+    worker = std::move(worker_);
   }
-  stop_cv_.notify_all();
-  worker_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  stop_cv_.NotifyAll();
+  worker.join();
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 bool Sampler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
@@ -62,11 +67,14 @@ void Sampler::SampleNow() { Append(TakeSample()); }
 void Sampler::RunLoop(std::chrono::milliseconds period) {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (stop_cv_.wait_for(lock, period,
-                            [this] { return stop_requested_; })) {
-        break;
+      MutexLock lock(mu_);
+      // A timeout means take the next periodic sample; a notification
+      // means Stop() set stop_requested_ (re-checked against spurious
+      // wakeups).
+      while (!stop_requested_) {
+        if (stop_cv_.WaitFor(lock, period)) break;
       }
+      if (stop_requested_) break;
     }
     Append(TakeSample());
   }
@@ -75,13 +83,13 @@ void Sampler::RunLoop(std::chrono::milliseconds period) {
 }
 
 void Sampler::Append(RegistrySample sample) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_.push_back(std::move(sample));
   while (samples_.size() > capacity_) samples_.pop_front();
 }
 
 std::vector<RegistrySample> Sampler::Series() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<RegistrySample>(samples_.begin(), samples_.end());
 }
 
@@ -123,7 +131,7 @@ std::vector<IntervalDeltas> Sampler::Deltas() const {
 }
 
 void Sampler::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_.clear();
 }
 

@@ -23,14 +23,13 @@
 /// With RANKTIES_OBS_DISABLED everything collapses to empty inline stubs.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace rankties {
 namespace obs {
@@ -71,42 +70,45 @@ class Sampler {
   /// already running. `capacity` bounds the ring (minimum 2, so Deltas()
   /// always has an interval to report).
   void Start(std::chrono::milliseconds period,
-             std::size_t capacity = kDefaultCapacity);
+             std::size_t capacity = kDefaultCapacity) RANKTIES_EXCLUDES(mu_);
 
   /// Stops and joins the background thread, taking one final sample so a
   /// Start/Stop window always captures its end state. No-op when stopped.
-  void Stop();
+  void Stop() RANKTIES_EXCLUDES(mu_);
 
-  bool running() const;
+  bool running() const RANKTIES_EXCLUDES(mu_);
 
   /// Takes one sample synchronously on the calling thread (tests; safe
   /// with or without the background thread).
-  void SampleNow();
+  void SampleNow() RANKTIES_EXCLUDES(mu_);
 
   /// The current series, oldest first.
-  std::vector<RegistrySample> Series() const;
+  std::vector<RegistrySample> Series() const RANKTIES_EXCLUDES(mu_);
 
   /// Per-interval counter deltas and rates between consecutive samples
   /// (size = max(0, samples - 1)). Counters that first appear mid-series
   /// delta against 0.
-  std::vector<IntervalDeltas> Deltas() const;
+  std::vector<IntervalDeltas> Deltas() const RANKTIES_EXCLUDES(mu_);
 
   /// Drops every sample (tests; the background thread keeps running).
-  void Clear();
+  void Clear() RANKTIES_EXCLUDES(mu_);
 
  private:
   Sampler() = default;
 
-  void Append(RegistrySample sample);
-  void RunLoop(std::chrono::milliseconds period);
+  void Append(RegistrySample sample) RANKTIES_EXCLUDES(mu_);
+  void RunLoop(std::chrono::milliseconds period) RANKTIES_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;  // guarded by mu_
-  bool running_ = false;         // guarded by mu_
-  std::size_t capacity_ = kDefaultCapacity;   // guarded by mu_
-  std::deque<RegistrySample> samples_;        // guarded by mu_
-  std::thread worker_;  // owned by Start/Stop, touched with mu_ released
+  mutable Mutex mu_{"obs.sampler"};
+  CondVar stop_cv_;
+  bool stop_requested_ RANKTIES_GUARDED_BY(mu_) = false;
+  bool running_ RANKTIES_GUARDED_BY(mu_) = false;
+  std::size_t capacity_ RANKTIES_GUARDED_BY(mu_) = kDefaultCapacity;
+  std::deque<RegistrySample> samples_ RANKTIES_GUARDED_BY(mu_);
+  // Joinable exactly while the loop runs; spawned by Start and moved out
+  // by Stop under mu_ — the handle itself is guarded state (an earlier
+  // revision assigned it with mu_ released, racing Start against Stop).
+  std::thread worker_ RANKTIES_GUARDED_BY(mu_);
 };
 
 #else  // RANKTIES_OBS_DISABLED

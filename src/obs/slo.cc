@@ -46,17 +46,17 @@ SloRegistry& SloRegistry::Global() {
 }
 
 void SloRegistry::Declare(SloThreshold threshold) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   thresholds_.push_back(std::move(threshold));
 }
 
 std::vector<SloThreshold> SloRegistry::Thresholds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return thresholds_;
 }
 
 std::vector<QueryUnitSnapshot> SloRegistry::UnitSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<QueryUnitSnapshot> snapshots;
   snapshots.reserve(units_.size());
   for (const auto& entry : units_) {
@@ -123,14 +123,14 @@ std::vector<SloCheckResult> SloRegistry::Evaluate() const {
 }
 
 void SloRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   units_.clear();
   thresholds_.clear();
   // Ordinals survive a reset so flight events keep a stable mapping.
 }
 
 std::uint32_t SloRegistry::OrdinalFor(std::string_view unit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ordinals_.find(unit);
   if (it == ordinals_.end()) {
     it = ordinals_
@@ -144,7 +144,7 @@ std::uint32_t SloRegistry::OrdinalFor(std::string_view unit) {
 void SloRegistry::Report(
     std::string_view unit, std::int64_t latency_ns,
     const std::vector<std::pair<Counter*, std::int64_t>>& costs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = units_.find(unit);
   if (it == units_.end()) {
     it = units_.emplace(std::string(unit), UnitAccum{}).first;

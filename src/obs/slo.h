@@ -38,13 +38,13 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace rankties {
 namespace obs {
@@ -112,20 +112,22 @@ class SloRegistry {
   static SloRegistry& Global();
 
   /// Registers one declarative bound; duplicates simply add more checks.
-  void Declare(SloThreshold threshold);
-  std::vector<SloThreshold> Thresholds() const;
+  void Declare(SloThreshold threshold) RANKTIES_EXCLUDES(mu_);
+  std::vector<SloThreshold> Thresholds() const RANKTIES_EXCLUDES(mu_);
 
   /// All units seen so far, sorted by name.
-  std::vector<QueryUnitSnapshot> UnitSnapshots() const;
+  std::vector<QueryUnitSnapshot> UnitSnapshots() const
+      RANKTIES_EXCLUDES(mu_);
   /// Stats for one unit; an empty snapshot (queries == 0) when unseen.
-  QueryUnitSnapshot UnitSnapshot(std::string_view unit) const;
+  QueryUnitSnapshot UnitSnapshot(std::string_view unit) const
+      RANKTIES_EXCLUDES(mu_);
 
   /// Replays every declared threshold against the observed stats. A unit
   /// with no queries passes vacuously (observed 0).
-  std::vector<SloCheckResult> Evaluate() const;
+  std::vector<SloCheckResult> Evaluate() const RANKTIES_EXCLUDES(mu_);
 
   /// Drops all unit stats and thresholds (tests and bench baselines only).
-  void ResetAll();
+  void ResetAll() RANKTIES_EXCLUDES(mu_);
 
  private:
   friend class QueryUnitScope;
@@ -133,9 +135,10 @@ class SloRegistry {
   SloRegistry() = default;
 
   /// Stable dense ordinal for `unit` (flight-event correlation + export).
-  std::uint32_t OrdinalFor(std::string_view unit);
+  std::uint32_t OrdinalFor(std::string_view unit) RANKTIES_EXCLUDES(mu_);
   void Report(std::string_view unit, std::int64_t latency_ns,
-              const std::vector<std::pair<Counter*, std::int64_t>>& costs);
+              const std::vector<std::pair<Counter*, std::int64_t>>& costs)
+      RANKTIES_EXCLUDES(mu_);
 
   struct CostAccum {
     std::int64_t total = 0;
@@ -148,10 +151,12 @@ class SloRegistry {
     std::map<std::string, CostAccum, std::less<>> costs;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint32_t, std::less<>> ordinals_;
-  std::map<std::string, UnitAccum, std::less<>> units_;
-  std::vector<SloThreshold> thresholds_;
+  mutable Mutex mu_{"obs.slo"};
+  std::map<std::string, std::uint32_t, std::less<>> ordinals_
+      RANKTIES_GUARDED_BY(mu_);
+  std::map<std::string, UnitAccum, std::less<>> units_
+      RANKTIES_GUARDED_BY(mu_);
+  std::vector<SloThreshold> thresholds_ RANKTIES_GUARDED_BY(mu_);
 };
 
 /// RAII query unit: installs itself as the calling thread's CounterSink

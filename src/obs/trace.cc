@@ -20,7 +20,7 @@ TraceRecorder& TraceRecorder::Global() {
 
 void TraceRecorder::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spans_.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);
@@ -32,17 +32,17 @@ void TraceRecorder::Stop() {
 }
 
 std::vector<SpanRecord> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 std::size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 
@@ -53,7 +53,7 @@ std::uint32_t TraceRecorder::ThreadIndex() {
 }
 
 void TraceRecorder::Append(const SpanRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= kMaxSpans) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;

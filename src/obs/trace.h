@@ -18,9 +18,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace rankties {
@@ -51,7 +51,7 @@ class TraceRecorder {
   static TraceRecorder& Global();
 
   /// Clears the buffer and starts recording.
-  void Start();
+  void Start() RANKTIES_EXCLUDES(mu_);
   /// Stops recording; the buffer stays readable until the next Start().
   void Stop();
   bool recording() const {
@@ -59,14 +59,14 @@ class TraceRecorder {
   }
 
   /// Copy of the recorded spans, in completion order.
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const RANKTIES_EXCLUDES(mu_);
   /// Spans recorded so far.
-  std::size_t size() const;
+  std::size_t size() const RANKTIES_EXCLUDES(mu_);
   /// Spans dropped after the buffer filled.
   std::int64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
-  void Clear();
+  void Clear() RANKTIES_EXCLUDES(mu_);
 
   /// Process-wide unique span id.
   std::uint64_t NextId() {
@@ -75,7 +75,7 @@ class TraceRecorder {
   /// Dense index for the calling thread (stable across its lifetime).
   std::uint32_t ThreadIndex();
 
-  void Append(const SpanRecord& record);
+  void Append(const SpanRecord& record) RANKTIES_EXCLUDES(mu_);
 
  private:
   TraceRecorder() = default;
@@ -84,8 +84,8 @@ class TraceRecorder {
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint32_t> next_thread_{0};
   std::atomic<std::int64_t> dropped_{0};
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;  // guarded by mu_
+  mutable Mutex mu_{"obs.trace"};
+  std::vector<SpanRecord> spans_ RANKTIES_GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) under `name`, which must

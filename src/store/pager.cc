@@ -87,7 +87,7 @@ StatusOr<Pager::PinnedBlock> Pager::Pin(std::uint64_t block) {
                               std::to_string(num_blocks_) + " blocks)");
   }
   Shard& shard = ShardFor(block);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.frames.find(block);
   if (it != shard.frames.end()) {
     Frame& frame = *it->second;
@@ -130,7 +130,7 @@ StatusOr<Pager::PinnedBlock> Pager::Pin(std::uint64_t block) {
 
 void Pager::UnpinBlock(std::uint64_t block) {
   Shard& shard = ShardFor(block);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.frames.find(block);
   RANKTIES_DCHECK(it != shard.frames.end() &&
                   "UnpinBlock on a block that is not resident");
@@ -148,7 +148,7 @@ void Pager::UnpinBlock(std::uint64_t block) {
 
 bool Pager::IsResident(std::uint64_t block) const {
   const Shard& shard = ShardFor(block);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.frames.find(block) != shard.frames.end();
 }
 

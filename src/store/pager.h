@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "store/file.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rankties::store {
@@ -126,10 +126,14 @@ class Pager {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames;
+    /// Every shard lock shares one class: the pager takes exactly one
+    /// shard lock at a time, so same-class nesting is (correctly) an
+    /// inversion the debug lock-order DAG would abort on.
+    mutable Mutex mu{"store.pager.shard"};
+    std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames
+        RANKTIES_GUARDED_BY(mu);
     /// Unpinned resident blocks, least recently used first.
-    std::list<std::uint64_t> lru;
+    std::list<std::uint64_t> lru RANKTIES_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(std::uint64_t block) {
@@ -140,8 +144,9 @@ class Pager {
   }
 
   /// Evicts LRU unpinned frames while the shard is over its share of the
-  /// capacity. Caller holds `shard.mu`.
-  void EvictOver(Shard& shard, std::size_t shard_capacity);
+  /// capacity.
+  void EvictOver(Shard& shard, std::size_t shard_capacity)
+      RANKTIES_REQUIRES(shard.mu);
 
   void NoteResident(std::int64_t delta);
 

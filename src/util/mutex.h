@@ -1,0 +1,502 @@
+#ifndef RANKTIES_UTIL_MUTEX_H_
+#define RANKTIES_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/contracts.h"
+
+/// \file
+/// The annotated synchronization layer (docs/STATIC_ANALYSIS.md,
+/// "Thread-safety analysis"). Every mutex in src/ is a `rankties::Mutex`;
+/// raw `std::mutex` / `std::condition_variable` outside this header are
+/// banned by rankties-lint RT009. The layer gives two guarantees:
+///
+///  1. **Compile-time discipline.** The types carry Clang thread-safety
+///     capability annotations, so a clang build with
+///     `-Wthread-safety -Wthread-safety-beta -Werror` (the `thread-safety`
+///     CI job) proves every `RANKTIES_GUARDED_BY` field is only touched
+///     with its mutex held, every `RANKTIES_REQUIRES` helper is only
+///     called under the lock, and every `RANKTIES_EXCLUDES` entry point is
+///     never re-entered with the lock held. On non-Clang compilers the
+///     macros expand to nothing.
+///
+///  2. **Debug lock-order deadlock detection.** When contracts are active
+///     (`RANKTIES_DCHECK_ENABLED`, the debug default), every `Mutex` joins
+///     a process-global DAG over lock *classes* — the name passed to the
+///     constructor, e.g. "threadpool.queue". Each blocking acquisition
+///     records held-class -> acquired-class edges; an edge that would
+///     close a cycle aborts immediately with the established order, the
+///     thread's held stack, and the flight-recorder post-mortem (via the
+///     contracts failure hook) — *before* blocking, so an inversion is
+///     caught deterministically on first occurrence, with or without
+///     contention. In release builds the tracking is fully compiled out:
+///     `sizeof(Mutex) == sizeof(std::mutex)` and Lock/Unlock are plain
+///     lock/unlock calls (tests/mutex_test.cc proves both halves).
+///
+/// Annotation catalog (all no-ops outside clang):
+///   RANKTIES_CAPABILITY(name)      — on a type that is a lockable thing.
+///   RANKTIES_SCOPED_CAPABILITY     — on an RAII type that acquires in its
+///                                    constructor and releases in its
+///                                    destructor.
+///   RANKTIES_GUARDED_BY(mu)        — on a field: reads and writes require
+///                                    `mu` held.
+///   RANKTIES_PT_GUARDED_BY(mu)     — on a pointer field: the *pointee*
+///                                    requires `mu` held.
+///   RANKTIES_REQUIRES(mu)          — on a function: caller must hold `mu`.
+///   RANKTIES_ACQUIRE(mu...)        — function acquires and does not
+///                                    release.
+///   RANKTIES_RELEASE(mu...)        — function releases a held capability.
+///   RANKTIES_TRY_ACQUIRE(ok, mu)   — acquires iff the return equals `ok`.
+///   RANKTIES_EXCLUDES(mu...)       — caller must NOT hold `mu` (the
+///                                    public-entry-point annotation).
+///   RANKTIES_ASSERT_CAPABILITY(mu) — runtime assertion that `mu` is held;
+///                                    teaches the analysis it is.
+///   RANKTIES_NO_THREAD_SAFETY_ANALYSIS — last resort, see the policy in
+///                                    docs/STATIC_ANALYSIS.md: every use
+///                                    must carry a comment naming why the
+///                                    analysis cannot express the pattern.
+
+// Internal: attach a clang attribute, or nothing elsewhere.
+#if defined(__clang__)
+#define RANKTIES_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RANKTIES_THREAD_ANNOTATION_(x)
+#endif
+
+#define RANKTIES_CAPABILITY(x) RANKTIES_THREAD_ANNOTATION_(capability(x))
+#define RANKTIES_SCOPED_CAPABILITY RANKTIES_THREAD_ANNOTATION_(scoped_lockable)
+#define RANKTIES_GUARDED_BY(x) RANKTIES_THREAD_ANNOTATION_(guarded_by(x))
+#define RANKTIES_PT_GUARDED_BY(x) RANKTIES_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define RANKTIES_REQUIRES(...) \
+  RANKTIES_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RANKTIES_ACQUIRE(...) \
+  RANKTIES_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RANKTIES_RELEASE(...) \
+  RANKTIES_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RANKTIES_TRY_ACQUIRE(...) \
+  RANKTIES_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RANKTIES_EXCLUDES(...) \
+  RANKTIES_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define RANKTIES_ASSERT_CAPABILITY(x) \
+  RANKTIES_THREAD_ANNOTATION_(assert_capability(x))
+#define RANKTIES_NO_THREAD_SAFETY_ANALYSIS \
+  RANKTIES_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rankties {
+
+class Mutex;
+
+namespace sync_internal {
+
+#if RANKTIES_DCHECK_ENABLED
+
+/// The process-global lock-order DAG, keyed by lock class (the name passed
+/// to the Mutex constructor). Lockdep-style: once any thread has ever held
+/// class A while acquiring class B, the order A -> B is law for the whole
+/// process, and a later B-held-acquiring-A aborts even if the two threads
+/// never actually contend. Internals are protected by a raw std::mutex
+/// (deliberately un-annotated: libstdc++ types carry no capability
+/// attributes, and the graph lock is never held across a user acquisition,
+/// so it cannot participate in a cycle).
+class LockGraph {
+ public:
+  /// Interns `name` (by string value) and returns its stable class id.
+  std::uint32_t ClassIdFor(const char* name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t id = 0; id < names_.size(); ++id) {
+      if (names_[id] == name) return id;
+    }
+    names_.emplace_back(name);
+    out_.emplace_back();
+    return static_cast<std::uint32_t>(names_.size() - 1);
+  }
+
+  [[nodiscard]] std::string ClassName(std::uint32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return id < names_.size() ? names_[id] : std::string("<unknown>");
+  }
+
+  /// Records the order `from` -> `to`. Returns false — and records
+  /// nothing — when the edge would close a cycle, including `from == to`
+  /// (two locks of one class never nest; same-class acquisition order is
+  /// not observable by the class-level graph, so it is banned outright).
+  bool AddEdge(std::uint32_t from, std::uint32_t to) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from == to) return false;
+    std::vector<std::uint32_t>& edges = out_[from];
+    for (std::uint32_t next : edges) {
+      if (next == to) return true;  // already recorded; dedup
+    }
+    if (ReachesLocked(to, from)) return false;
+    edges.push_back(to);
+    return true;
+  }
+
+  [[nodiscard]] bool HasEdge(std::uint32_t from, std::uint32_t to) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from >= out_.size()) return false;
+    for (std::uint32_t next : out_[from]) {
+      if (next == to) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t EdgeCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const std::vector<std::uint32_t>& edges : out_) {
+      total += edges.size();
+    }
+    return total;
+  }
+
+  /// The recorded chain `from` -> ... -> `to` (both endpoints included),
+  /// or empty if `to` is not reachable. Diagnostics only.
+  [[nodiscard]] std::vector<std::uint32_t> PathBetween(
+      std::uint32_t from, std::uint32_t to) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from >= out_.size() || to >= out_.size()) return {};
+    const std::uint32_t kUnvisited = 0xffffffffu;
+    std::vector<std::uint32_t> parent(out_.size(), kUnvisited);
+    std::vector<std::uint32_t> frontier{from};
+    parent[from] = from;
+    while (!frontier.empty()) {
+      std::vector<std::uint32_t> next_frontier;
+      for (std::uint32_t node : frontier) {
+        for (std::uint32_t next : out_[node]) {
+          if (parent[next] != kUnvisited) continue;
+          parent[next] = node;
+          if (next == to) {
+            std::vector<std::uint32_t> path;
+            for (std::uint32_t walk = to; walk != from;
+                 walk = parent[walk]) {
+              path.push_back(walk);
+            }
+            path.push_back(from);
+            for (std::size_t i = 0, j = path.size() - 1; i < j; ++i, --j) {
+              const std::uint32_t swap = path[i];
+              path[i] = path[j];
+              path[j] = swap;
+            }
+            return path;
+          }
+          next_frontier.push_back(next);
+        }
+      }
+      frontier = std::move(next_frontier);
+    }
+    return {};
+  }
+
+  /// Clears every recorded edge but keeps interned class ids — live Mutex
+  /// instances hold ids by value. Tests only: lets each test seed its own
+  /// ordering without inheriting edges from earlier tests (or from library
+  /// code that ran during fixture setup).
+  void ResetForTest() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::vector<std::uint32_t>& edges : out_) edges.clear();
+  }
+
+ private:
+  // Caller holds mu_. True when `to` is reachable from `from` along
+  // recorded edges (iterative DFS; the graph is acyclic by construction).
+  bool ReachesLocked(std::uint32_t from, std::uint32_t to) const {
+    if (from == to) return true;
+    std::vector<bool> visited(out_.size(), false);
+    std::vector<std::uint32_t> stack{from};
+    visited[from] = true;
+    while (!stack.empty()) {
+      const std::uint32_t node = stack.back();
+      stack.pop_back();
+      for (std::uint32_t next : out_[node]) {
+        if (next == to) return true;
+        if (!visited[next]) {
+          visited[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+    return false;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;                // class id -> name
+  std::vector<std::vector<std::uint32_t>> out_;  // class id -> successors
+};
+
+inline LockGraph& Graph() {
+  // Deliberately leaked: Mutex instances with static storage duration may
+  // still lock and unlock during static destruction, after a non-leaked
+  // graph would already be gone.
+  static LockGraph* const graph = new LockGraph();
+  return *graph;
+}
+
+struct HeldEntry {
+  const Mutex* instance = nullptr;
+  std::uint32_t class_id = 0;
+};
+
+/// Per-thread stack of currently-held Mutex instances, oldest first. Fixed
+/// capacity so acquisition never allocates; 64 simultaneous locks on one
+/// thread is far beyond anything legitimate here.
+struct HeldStack {
+  static constexpr std::size_t kMaxHeld = 64;
+  HeldEntry entries[kMaxHeld] = {};
+  std::size_t size = 0;
+};
+
+inline HeldStack& ThisThreadHeld() {
+  thread_local HeldStack held;
+  return held;
+}
+
+[[noreturn]] inline void SelfDeadlockFailure(std::uint32_t class_id) {
+  std::fprintf(stderr,
+               "rankties: lock-order inversion: re-acquiring lock class "
+               "\"%s\" this thread already holds (self-deadlock)\n",
+               Graph().ClassName(class_id).c_str());
+  contracts_internal::RunFailureHook();
+  std::abort();
+}
+
+[[noreturn]] inline void LockOrderFailure(std::uint32_t acquiring,
+                                          std::uint32_t held) {
+  LockGraph& graph = Graph();
+  std::fprintf(stderr,
+               "rankties: lock-order inversion: acquiring lock class "
+               "\"%s\" while holding \"%s\"\n",
+               graph.ClassName(acquiring).c_str(),
+               graph.ClassName(held).c_str());
+  if (acquiring == held) {
+    std::fprintf(stderr,
+                 "rankties:   two locks of one class never nest; release "
+                 "the first before taking the second\n");
+  } else {
+    const std::vector<std::uint32_t> chain =
+        graph.PathBetween(acquiring, held);
+    if (!chain.empty()) {
+      std::fprintf(stderr, "rankties:   previously recorded order:");
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        std::fprintf(stderr, "%s \"%s\"", i == 0 ? "" : " ->",
+                     graph.ClassName(chain[i]).c_str());
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+  const HeldStack& stack = ThisThreadHeld();
+  std::fprintf(stderr, "rankties:   held by this thread (oldest first):");
+  for (std::size_t i = 0; i < stack.size; ++i) {
+    std::fprintf(stderr, " \"%s\"",
+                 graph.ClassName(stack.entries[i].class_id).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  contracts_internal::RunFailureHook();
+  std::abort();
+}
+
+/// Runs before a blocking acquisition, while nothing is blocked yet: a
+/// would-be inversion aborts with full context instead of deadlocking.
+inline void CheckAcquireOrder(const Mutex* instance, std::uint32_t class_id) {
+  HeldStack& held = ThisThreadHeld();
+  for (std::size_t i = 0; i < held.size; ++i) {
+    if (held.entries[i].instance == instance) {
+      SelfDeadlockFailure(class_id);
+    }
+  }
+  for (std::size_t i = 0; i < held.size; ++i) {
+    if (!Graph().AddEdge(held.entries[i].class_id, class_id)) {
+      LockOrderFailure(class_id, held.entries[i].class_id);
+    }
+  }
+}
+
+inline void NoteAcquired(const Mutex* instance, std::uint32_t class_id) {
+  HeldStack& held = ThisThreadHeld();
+  RANKTIES_DCHECK(held.size < HeldStack::kMaxHeld);
+  held.entries[held.size] = HeldEntry{instance, class_id};
+  ++held.size;
+}
+
+inline void NoteReleased(const Mutex* instance) {
+  HeldStack& held = ThisThreadHeld();
+  for (std::size_t i = held.size; i > 0; --i) {
+    if (held.entries[i - 1].instance != instance) continue;
+    for (std::size_t j = i - 1; j + 1 < held.size; ++j) {
+      held.entries[j] = held.entries[j + 1];
+    }
+    --held.size;
+    return;
+  }
+  RANKTIES_DCHECK(!"unlocking a mutex this thread does not hold");
+}
+
+[[nodiscard]] inline bool IsHeldByThisThread(const Mutex* instance) {
+  const HeldStack& held = ThisThreadHeld();
+  for (std::size_t i = 0; i < held.size; ++i) {
+    if (held.entries[i].instance == instance) return true;
+  }
+  return false;
+}
+
+#endif  // RANKTIES_DCHECK_ENABLED
+
+}  // namespace sync_internal
+
+/// A standard mutex carrying a Clang capability annotation and, in debug
+/// builds, membership in the lock-order DAG. `name` is the lock *class*
+/// (one per role, e.g. "store.pager.shard" for all 16 shard locks, in
+/// `lowercase.dotted` form like obs metric names); instances of one class
+/// share ordering constraints and must never nest with each other. In
+/// release builds the name is discarded and the object is exactly a
+/// std::mutex.
+class RANKTIES_CAPABILITY("mutex") Mutex {
+ public:
+#if RANKTIES_DCHECK_ENABLED
+  explicit Mutex(const char* name)
+      : class_id_(sync_internal::Graph().ClassIdFor(name)) {}
+#else
+  explicit Mutex(const char* /*name*/) {}
+#endif
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RANKTIES_ACQUIRE() {
+#if RANKTIES_DCHECK_ENABLED
+    sync_internal::CheckAcquireOrder(this, class_id_);
+#endif
+    mu_.lock();
+#if RANKTIES_DCHECK_ENABLED
+    sync_internal::NoteAcquired(this, class_id_);
+#endif
+  }
+
+  void Unlock() RANKTIES_RELEASE() {
+#if RANKTIES_DCHECK_ENABLED
+    sync_internal::NoteReleased(this);
+#endif
+    mu_.unlock();
+  }
+
+  /// Non-blocking acquire. Cannot deadlock, so no order edges are
+  /// recorded; a successful TryLock still joins the held stack, so later
+  /// blocking acquisitions on this thread order against it.
+  bool TryLock() RANKTIES_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if RANKTIES_DCHECK_ENABLED
+    sync_internal::NoteAcquired(this, class_id_);
+#endif
+    return true;
+  }
+
+  /// Debug-checks this thread holds the mutex and tells the analysis so —
+  /// for code reached only under the lock through a path the analysis
+  /// cannot follow.
+  void AssertHeld() const RANKTIES_ASSERT_CAPABILITY(this) {
+#if RANKTIES_DCHECK_ENABLED
+    RANKTIES_DCHECK(sync_internal::IsHeldByThisThread(this));
+#endif
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+#if RANKTIES_DCHECK_ENABLED
+  std::uint32_t class_id_;
+#endif
+};
+
+#if !RANKTIES_DCHECK_ENABLED
+// The release half of guarantee 2: with contracts off, the lock-order
+// machinery leaves no trace in the object layout.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release Mutex must carry zero debug state");
+#endif
+
+/// RAII scoped acquisition — the way code takes a Mutex. Deliberately no
+/// deferred/adoptable variants: every acquisition site is a constructor,
+/// which is what makes the scoped-capability analysis airtight.
+class RANKTIES_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RANKTIES_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RANKTIES_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Callers wait in an explicit
+/// predicate loop —
+///
+///   MutexLock lock(mu_);
+///   while (!wake_condition) cv_.Wait(lock);
+///
+/// — never with a predicate lambda: thread-safety analysis cannot see that
+/// a lambda body runs under the caller's lock, so the std-style
+/// `wait(lock, pred)` shape would warn on every guarded read inside the
+/// predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and blocks; the mutex is
+  /// reacquired before returning. No TSA annotation: the capability is
+  /// held at entry and at return, which is all callers observe — the
+  /// analysis cannot model the release-reacquire window in between. The
+  /// debug held stack likewise keeps the mutex listed across the wait
+  /// (this thread is blocked, so its order checks are idle).
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(NativeMutex(lock), std::adopt_lock);
+    cv_.wait(native);
+    static_cast<void>(native.release());
+  }
+
+  /// Wait with a deadline. Returns true if the deadline passed without a
+  /// notification; the mutex is reacquired either way.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(MutexLock& lock,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> native(NativeMutex(lock), std::adopt_lock);
+    const bool timed_out =
+        cv_.wait_until(native, deadline) == std::cv_status::timeout;
+    static_cast<void>(native.release());
+    return timed_out;
+  }
+
+  /// Wait with a timeout measured from now on the steady clock. Returns
+  /// true if it timed out without a notification.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return WaitUntil(lock, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  static std::mutex& NativeMutex(MutexLock& lock) { return lock.mu_.mu_; }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace rankties
+
+#endif  // RANKTIES_UTIL_MUTEX_H_

@@ -14,8 +14,8 @@ namespace {
 // worker run inline instead of re-entering the queue (no deadlock).
 thread_local bool t_in_pool_worker = false;
 
-std::mutex g_global_mu;
-std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_mu
+Mutex g_global_mu("threadpool.global");
+std::unique_ptr<ThreadPool> g_global_pool RANKTIES_GUARDED_BY(g_global_mu);
 
 }  // namespace
 
@@ -29,10 +29,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -47,7 +47,7 @@ void ThreadPool::RunChunks(LoopState& state) {
     try {
       (*state.body)(lo, hi);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       if (!state.error) state.error = std::current_exception();
       state.canceled.store(true, std::memory_order_relaxed);
     }
@@ -62,8 +62,8 @@ void ThreadPool::WorkerMain() {
       // Idle accounting: the wait below is the worker's only blocking
       // point, so its duration is exactly the lane's idle time.
       const std::int64_t idle_from = obs::Enabled() ? MonotonicNanos() : 0;
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       if (idle_from != 0) {
         RANKTIES_OBS_COUNT("threadpool.worker_idle_ns",
                            MonotonicNanos() - idle_from);
@@ -74,8 +74,8 @@ void ThreadPool::WorkerMain() {
     }
     RunChunks(*state);
     {
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (--state->pending == 0) state->done.notify_one();
+      MutexLock lock(state->mu);
+      if (--state->pending == 0) state->done.NotifyOne();
     }
   }
 }
@@ -106,32 +106,38 @@ void ThreadPool::ParallelFor(
                   static_cast<std::int64_t>(end - begin),
                   static_cast<std::int64_t>(g),
                   static_cast<std::int64_t>(helpers));
-  state->pending = helpers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // No helper can see `state` before the queue push below, but `pending`
+    // is mu-guarded state: take the (uncontended) lock rather than carve
+    // out an unlocked-initialization exception.
+    MutexLock lock(state->mu);
+    state->pending = helpers;
+  }
+  {
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(state);
     RANKTIES_OBS_RECORD("threadpool.queue_depth",
                         static_cast<std::int64_t>(queue_.size()));
   }
   if (helpers == 1) {
-    cv_.notify_one();
+    cv_.NotifyOne();
   } else {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   RunChunks(*state);  // the calling thread is a lane too
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] { return state->pending == 0; });
-  if (state->error) {
-    std::exception_ptr error = state->error;
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(state->mu);
+    while (state->pending != 0) state->done.Wait(lock);
+    error = state->error;
   }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(g_global_mu);
   if (!g_global_pool) {
     g_global_pool = std::make_unique<ThreadPool>(DefaultThreads());
   }
@@ -140,7 +146,7 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::SetGlobalThreads(std::size_t threads) {
   const std::size_t lanes = threads == 0 ? DefaultThreads() : threads;
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(g_global_mu);
   g_global_pool = std::make_unique<ThreadPool>(lanes);
 }
 

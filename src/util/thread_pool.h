@@ -2,15 +2,15 @@
 #define RANKTIES_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace rankties {
 
@@ -49,7 +49,8 @@ class ThreadPool {
   /// after the loop has drained. The body must only write to slots derived
   /// from its own indices.
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+                   const std::function<void(std::size_t, std::size_t)>& body)
+      RANKTIES_EXCLUDES(mu_);
 
   /// The process-wide pool used by the free ParallelFor and the batch
   /// engine. Created on first use with DefaultThreads() lanes.
@@ -78,20 +79,22 @@ class ThreadPool {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> canceled{false};
-    std::mutex mu;
-    std::condition_variable done;
-    std::size_t pending = 0;  // helper tasks not yet finished (guarded by mu)
-    std::exception_ptr error;  // first exception (guarded by mu)
+    Mutex mu{"threadpool.loop"};
+    CondVar done;
+    // Helper tasks not yet finished.
+    std::size_t pending RANKTIES_GUARDED_BY(mu) = 0;
+    // First exception thrown by the body.
+    std::exception_ptr error RANKTIES_GUARDED_BY(mu);
   };
 
-  static void RunChunks(LoopState& state);
-  void WorkerMain();
+  static void RunChunks(LoopState& state) RANKTIES_EXCLUDES(state.mu);
+  void WorkerMain() RANKTIES_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<LoopState>> queue_;  // guarded by mu_
-  bool stop_ = false;                             // guarded by mu_
+  Mutex mu_{"threadpool.queue"};
+  CondVar cv_;
+  std::deque<std::shared_ptr<LoopState>> queue_ RANKTIES_GUARDED_BY(mu_);
+  bool stop_ RANKTIES_GUARDED_BY(mu_) = false;
 };
 
 /// ParallelFor on the global pool — the entry point the library uses.

@@ -1,0 +1,21 @@
+// rankties-lint-fixture: expect RT009
+// Raw std::mutex in library code: synchronization must go through
+// rankties::Mutex (util/mutex.h) so the clang thread-safety annotations
+// and the debug lock-order DAG cover it.
+#include <mutex>
+
+namespace rankties {
+
+class UnauditedCache {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+  }
+
+ private:
+  std::mutex mu_;
+  long generation_ = 0;
+};
+
+}  // namespace rankties

@@ -74,6 +74,19 @@ Rules (rationale in docs/STATIC_ANALYSIS.md):
                                exempt (the OpenMetrics text exporter writes
                                operator-facing snapshots, not corpus data).
 
+  RT009 raw-std-sync           std::mutex / std::condition_variable /
+                               std::lock_guard / std::unique_lock /
+                               std::scoped_lock / std::shared_mutex (and
+                               friends) in src/ outside src/util/mutex.h.
+                               That header owns synchronization:
+                               rankties::Mutex carries the Clang
+                               thread-safety capability annotations the
+                               `thread-safety` CI job enforces, and in
+                               debug builds membership in the lock-order
+                               DAG that turns latent deadlocks into
+                               deterministic aborts. A raw std primitive
+                               would dodge both.
+
 A finding on a line carrying `rankties-lint: allow(RTxxx)` is suppressed.
 
 Usage:
@@ -114,6 +127,12 @@ RAW_FILE_IO = re.compile(
     r"(?<![_A-Za-z])m(?:map|unmap)\s*\(|"
     r"(?<![_A-Za-z])p(?:read|write)\s*\(|"
     r"\bstd::[io]?fstream\b"
+)
+RAW_SYNC = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
 )
 METRIC_CALL = re.compile(
     r"RANKTIES_OBS_COUNT\s*\(|RANKTIES_OBS_RECORD\s*\(|"
@@ -210,6 +229,7 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
     in_obs_home = rel.as_posix().startswith("src/obs/")
     in_store_home = (rel.as_posix().startswith("src/store/")
                      or rel.as_posix() == "src/obs/export.cc")
+    is_mutex_home = rel.as_posix() == "src/util/mutex.h"
     in_block_comment = False
 
     for lineno, raw in enumerate(lines, start=1):
@@ -269,6 +289,14 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
                                     "route bytes through store::File so "
                                     "Status handling and store.io.* "
                                     "accounting stay centralized"))
+        if (in_src or fixture_mode) and not is_mutex_home \
+                and RAW_SYNC.search(line):
+            findings.append(Finding(path, lineno, "RT009",
+                                    "raw std sync primitive outside "
+                                    "src/util/mutex.h; use rankties::Mutex"
+                                    " / MutexLock / CondVar so the clang "
+                                    "thread-safety wall and the debug "
+                                    "lock-order DAG apply"))
 
     if path.suffix == ".h":
         findings.extend(check_include_guard(path, rel, text))
